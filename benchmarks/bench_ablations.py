@@ -1,0 +1,89 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips one POWER10 mechanism off and measures the
+power/performance consequence on the proxy suite, quantifying how much
+of the paper's efficiency story each mechanism carries:
+
+* EA-tagged L1 (translation per access vs per miss)
+* instruction fusion
+* store-queue merging
+* clock-gating discipline (off-by-default vs gate-after floor)
+* MMA power gating while idle
+"""
+
+import dataclasses
+
+from repro.analysis import format_table
+from repro.core import power10_config
+from repro.core.pipeline import simulate
+from repro.power import EinspowerModel
+from repro.workloads import specint_proxies
+
+
+def _suite_run(config, traces):
+    ipc_sum = power_sum = 0.0
+    model = EinspowerModel(config)
+    for trace in traces:
+        result = simulate(config, trace, warmup_fraction=0.3)
+        ipc_sum += result.ipc
+        power_sum += model.report(result.activity).total_w
+    return ipc_sum / len(traces), power_sum / len(traces)
+
+
+def _measure():
+    traces = specint_proxies(instructions=5000,
+                             names=["xz", "leela", "x264", "exchange2"])
+    base = power10_config()
+    variants = {"POWER10 (full)": base}
+
+    variants["no EA-tagged L1"] = dataclasses.replace(
+        base, ea_tagged_l1=False)
+    variants["no fusion"] = dataclasses.replace(
+        base, front_end=dataclasses.replace(
+            base.front_end, fusion_enabled=False))
+    variants["no store merge"] = dataclasses.replace(
+        base, lsu=dataclasses.replace(
+            base.lsu, store_merge_enabled=False))
+    variants["gate-after clocks"] = dataclasses.replace(
+        base, power=dataclasses.replace(
+            base.power, gating_floor=0.52))
+    results = {}
+    for name, config in variants.items():
+        results[name] = _suite_run(config, traces)
+    # MMA idle gating (power model flag, not a config change)
+    model = EinspowerModel(base)
+    run = simulate(base, traces[0], warmup_fraction=0.3)
+    results["MMA gated (idle)"] = (
+        run.ipc, model.report(run.activity, mma_powered=False).total_w)
+    results["MMA powered (idle)"] = (
+        run.ipc, model.report(run.activity, mma_powered=True).total_w)
+    return results
+
+
+def test_ablations(benchmark, once, capsys):
+    results = once(benchmark, _measure)
+    base_ipc, base_w = results["POWER10 (full)"]
+    rows = []
+    for name, (ipc, watts) in results.items():
+        rows.append([name, f"{ipc:.2f}", f"{watts:.2f}",
+                     f"{ipc / base_ipc:.3f}", f"{watts / base_w:.3f}"])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            "Ablations (SPECint proxies, per-mechanism impact)",
+            ["variant", "IPC", "power W", "IPC ratio", "power ratio"],
+            rows))
+    # every ablation costs energy efficiency
+    for name, (ipc, watts) in results.items():
+        if name in ("POWER10 (full)", "MMA gated (idle)",
+                    "MMA powered (idle)"):
+            continue
+        eff = ipc / watts
+        assert eff <= base_ipc / base_w * 1.02, name
+    # RA tagging burns translation power
+    assert results["no EA-tagged L1"][1] > base_w
+    # the gating discipline is the single largest power lever
+    assert results["gate-after clocks"][1] > base_w * 1.3
+    # idle MMA gating saves its leakage + clock floor
+    assert results["MMA gated (idle)"][1] \
+        < results["MMA powered (idle)"][1]

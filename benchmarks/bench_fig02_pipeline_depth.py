@@ -1,0 +1,33 @@
+"""Fig. 2 — optimal pipeline depth analysis.
+
+BIPS (normalized, at power-limited frequency) vs FO4 per stage, one
+curve per core power target.  Paper result: the optimum holds at
+~27 FO4 for the 0.5x-1.0x budget range.
+"""
+
+from repro.analysis import format_series
+from repro.power import depth_study, optimal_fo4
+
+
+def _study():
+    return depth_study(fo4_values=tuple(range(9, 46, 2)),
+                       budgets=(0.5, 0.7, 0.85, 1.0))
+
+
+def test_fig02_pipeline_depth(benchmark, once, capsys):
+    curves = once(benchmark, _study)
+    fo4s = [p.fo4 for p in curves[1.0]]
+    series = {f"power {budget:.2f}x": [p.bips for p in pts]
+              for budget, pts in sorted(curves.items())}
+    optima = {budget: optimal_fo4(pts)
+              for budget, pts in sorted(curves.items())}
+    with capsys.disabled():
+        print()
+        print(format_series("Fig. 2: normalized BIPS vs pipeline depth",
+                            series, "FO4", fo4s))
+        print(f"optimal FO4 per budget: {optima} (paper: ~27, stable)")
+    for budget, opt in optima.items():
+        assert 23 <= opt <= 31, (budget, opt)
+    # lower budgets yield lower peak throughput
+    peaks = [max(p.bips for p in curves[b]) for b in (0.5, 1.0)]
+    assert peaks[0] < peaks[1]

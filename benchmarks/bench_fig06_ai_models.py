@@ -1,0 +1,65 @@
+"""Fig. 6 — end-to-end AI inference: ResNet-50 and BERT-Large.
+
+Regenerates the figure's bars (GEMM instruction ratio, total
+instructions, CPI, cycles, speedup relative to POWER9) for POWER10 with
+the MMA disabled and enabled, plus the Section II-C socket projections.
+
+Paper: ResNet-50 2.25x / 3.55x, BERT-Large 2.08x / 3.64x;
+socket: up to 10x FP32 and 21x INT8.
+"""
+
+from repro.analysis import format_table
+from repro.workloads.ai import (bert_large_profile, figure6_rows,
+                                resnet50_profile, socket_ai_speedup)
+
+PAPER = {
+    "ResNet-50": {"POWER10 w/o MMA": 2.25, "POWER10 w/ MMA": 3.55},
+    "BERT-Large": {"POWER10 w/o MMA": 2.08, "POWER10 w/ MMA": 3.64},
+}
+
+
+def _measure():
+    out = {}
+    for profile in (resnet50_profile(), bert_large_profile()):
+        out[profile.name] = {
+            "rows": figure6_rows(profile),
+            "socket_fp32": socket_ai_speedup(profile),
+            "socket_int8": socket_ai_speedup(profile, dtype="int8"),
+        }
+    return out
+
+
+def test_fig06_ai_models(benchmark, once, capsys):
+    results = once(benchmark, _measure)
+    with capsys.disabled():
+        print()
+        for model, data in results.items():
+            rows = []
+            for label, row in data["rows"].items():
+                paper = PAPER[model].get(label)
+                rows.append([
+                    label,
+                    f"{row['gemm_inst_ratio']:.2f}",
+                    f"{row['total_instructions']:.2f}",
+                    f"{row['cpi']:.2f}",
+                    f"{row['cycles']:.2f}",
+                    f"{row['speedup']:.2f}x",
+                    f"{paper:.2f}x" if paper else "1.00x"])
+            print(format_table(
+                f"Fig. 6: {model} (batch "
+                f"{100 if model == 'ResNet-50' else 8}, FP32, "
+                "relative to POWER9)",
+                ["config", "GEMM inst ratio", "total instr", "CPI",
+                 "cycles", "speedup", "paper"], rows))
+            print(f"socket: FP32 {data['socket_fp32']:.1f}x "
+                  f"(paper: up to 10x), INT8 {data['socket_int8']:.1f}x "
+                  f"(paper: up to 21x)")
+            print()
+    resnet = results["ResNet-50"]["rows"]
+    bert = results["BERT-Large"]["rows"]
+    assert 1.8 < resnet["POWER10 w/o MMA"]["speedup"] < 2.7
+    assert 3.0 < resnet["POWER10 w/ MMA"]["speedup"] < 4.4
+    assert 1.7 < bert["POWER10 w/o MMA"]["speedup"] < 2.5
+    assert 3.0 < bert["POWER10 w/ MMA"]["speedup"] < 4.6
+    assert 8.0 < results["ResNet-50"]["socket_fp32"] < 13.0
+    assert 17.0 < results["ResNet-50"]["socket_int8"] < 27.0

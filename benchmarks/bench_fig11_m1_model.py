@@ -1,0 +1,43 @@
+"""Fig. 11 — M1-linked power model accuracy vs number of inputs.
+
+Fits top-down active-power models over the proxy workload set with
+increasing input budgets and several constraint combinations.  Paper:
+error falls as inputs grow, below 2.5% at the maximum input count.
+"""
+
+from repro.analysis import format_series
+from repro.core import power10_config
+from repro.power import build_training_set, input_sweep
+from repro.workloads import specint_proxies
+
+_INPUT_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _measure():
+    config = power10_config()
+    traces = specint_proxies(instructions=5000)
+    training = build_training_set(config, traces)
+    return {
+        "unconstrained": input_sweep(training, _INPUT_COUNTS),
+        "nonnegative": input_sweep(training, _INPUT_COUNTS,
+                                   nonnegative=True),
+    }
+
+
+def test_fig11_m1_model(benchmark, once, capsys):
+    errors = once(benchmark, _measure)
+    with capsys.disabled():
+        print()
+        print(format_series(
+            "Fig. 11: M1-linked active-power model error vs inputs",
+            {name: [sweep[n] for n in _INPUT_COUNTS]
+             for name, sweep in errors.items()},
+            "inputs", list(_INPUT_COUNTS)))
+        print("paper: error decreases with inputs, <2.5% at max")
+    for sweep in errors.values():
+        assert sweep[_INPUT_COUNTS[-1]] <= sweep[_INPUT_COUNTS[0]]
+    assert errors["unconstrained"][32] < 4.0
+    # constrained fits cannot beat unconstrained ones
+    for n in _INPUT_COUNTS:
+        assert errors["nonnegative"][n] >= \
+            errors["unconstrained"][n] - 0.5

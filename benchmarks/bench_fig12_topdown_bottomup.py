@@ -1,0 +1,52 @@
+"""Fig. 12 — top-down vs bottom-up M1-linked power models.
+
+Fits the single-model (top-down) and 39-component (bottom-up) power
+models on one workload population and compares their estimates on a
+larger evaluation set.  Paper: the two differ by 3.42% on average while
+the bottom-up model uses only 72 events in total.
+"""
+
+from repro.analysis import format_table
+from repro.core import power10_config
+from repro.power import (build_training_set, compare_top_down_bottom_up,
+                         fit_bottom_up, fit_top_down)
+from repro.workloads import specint_proxies, specint_suite
+
+
+def _measure():
+    config = power10_config()
+    train = build_training_set(config,
+                               specint_proxies(instructions=5000))
+    eval_set = build_training_set(
+        config, specint_suite(instructions=6000, footprint_scale=8)
+        + specint_proxies(instructions=3000, names=["xz", "x264"]))
+    top = fit_top_down(train, max_inputs=16)
+    bottom = fit_bottom_up(train, max_inputs_per_component=3)
+    stats = compare_top_down_bottom_up(top, bottom, eval_set)
+    stats["top_down_inputs"] = top.num_inputs
+    return stats
+
+
+def test_fig12_topdown_bottomup(benchmark, once, capsys):
+    stats = once(benchmark, _measure)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            "Fig. 12: top-down vs bottom-up power models",
+            ["quantity", "measured", "paper"],
+            [
+                ["mean model difference",
+                 f"{stats['mean_model_difference_pct']:.2f}%", "3.42%"],
+                ["bottom-up components",
+                 stats["bottom_up_components"], 39],
+                ["bottom-up events used",
+                 stats["bottom_up_events_used"], 72],
+                ["top-down inputs", stats["top_down_inputs"], "~40K stats pool"],
+                ["top-down error vs reference",
+                 f"{stats['top_down_error_pct']:.2f}%", "(Fig. 11)"],
+                ["bottom-up error vs reference",
+                 f"{stats['bottom_up_error_pct']:.2f}%", "similar"],
+            ]))
+    assert stats["mean_model_difference_pct"] < 12.0
+    assert stats["bottom_up_components"] == 39
+    assert stats["bottom_up_events_used"] <= 80

@@ -1,0 +1,58 @@
+"""Fig. 13 — static and runtime latch derating per testcase suite.
+
+Runs SERMiner over the Microprobe-style grid (ST/SMT2/SMT4 x DD0/DD1 x
+zero/random) plus SPEC proxies, reporting static derating and runtime
+derating at VT = 10/50/90%.
+"""
+
+from repro.analysis import format_table
+from repro.core import power10_config
+from repro.reliability import SERMiner
+from repro.workloads import derating_suites, specint_proxies
+
+
+def _measure():
+    miner = SERMiner(power10_config())
+    suites = {}
+    for trace in derating_suites(smt_levels=(1, 2, 4),
+                                 instructions=1500):
+        suites[trace.name] = [trace]
+    spec = specint_proxies(instructions=2500,
+                           names=["xz", "x264", "leela"])
+    for smt, label in ((1, "st_spec"), (2, "smt2_spec"),
+                       (4, "smt4_spec")):
+        from repro.workloads import merge_smt
+        if smt == 1:
+            suites[label] = spec
+        else:
+            suites[label] = [merge_smt([t] * smt, name=f"{t.name}x{smt}")
+                             for t in spec]
+    results = SERMiner(power10_config()).per_suite(
+        suites, vt_values=(10, 50, 90))
+    return results
+
+
+def test_fig13_derating(benchmark, once, capsys):
+    results = once(benchmark, _measure)
+    rows = [[r.workload_set,
+             f"{r.static_derating_pct:.1f}%",
+             f"{r.runtime_derating_pct[10]:.1f}%",
+             f"{r.runtime_derating_pct[50]:.1f}%",
+             f"{r.runtime_derating_pct[90]:.1f}%"]
+            for r in results]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            "Fig. 13: latch derating per testcase suite (POWER10)",
+            ["suite", "static", "VT=10%", "VT=50%", "VT=90%"], rows))
+    for r in results:
+        # runtime derating shrinks as VT becomes more permissive
+        assert r.runtime_derating_pct[10] \
+            >= r.runtime_derating_pct[50] \
+            >= r.runtime_derating_pct[90]
+        assert 0 < r.static_derating_pct < 90
+    # zeroed-data testcases derate at least as well as random-data ones
+    by_name = {r.workload_set: r for r in results}
+    for base in ("st_dd0", "st_dd1", "smt2_dd0"):
+        assert by_name[f"{base}_zero"].runtime_derating_pct[50] \
+            >= by_name[f"{base}_random"].runtime_derating_pct[50] - 1e-9

@@ -1,0 +1,60 @@
+"""Section III-A — Chopstix proxy generation coverage.
+
+The paper generated 1935 proxies from the top-10 most-executed
+functions of each SPECint benchmark, with 41% (gcc) to 99% (xz)
+coverage and a ~70% suite average.  This bench runs the same extraction
+on the synthetic applications and reports per-benchmark coverage and
+proxy counts, plus the Tracepoints-vs-SimPoint CPI fidelity comparison.
+"""
+
+import statistics
+
+from repro.analysis import format_table
+from repro.core import power9_config
+from repro.tracegen import (build_tracepoint, pick_simpoints,
+                            validate_against_reference)
+from repro.workloads import (PROXY_COVERAGE, SPECINT_NAMES,
+                             specint_proxies, specint_suite,
+                             suite_coverage)
+
+
+def _measure():
+    per_bench = {}
+    for name in SPECINT_NAMES:
+        proxies = specint_proxies(instructions=6000, names=[name])
+        per_bench[name] = (len(proxies), suite_coverage(proxies))
+    # Tracepoints vs SimPoint fidelity on one workload
+    config = power9_config(cache_scale=8)
+    app = specint_suite(instructions=16000, footprint_scale=8,
+                        names=["leela"])[0]
+    tp = build_tracepoint(config, app, epoch_instructions=1600,
+                          epochs_to_select=4)
+    tp_stats = validate_against_reference(config, app, tp.trace)
+    sp = pick_simpoints(app, interval=1600, max_clusters=4)
+    best_sp = max(sp.simpoints, key=lambda s: s.weight)
+    sp_stats = validate_against_reference(config, app, best_sp.trace)
+    return per_bench, tp_stats, sp_stats
+
+
+def test_proxy_coverage(benchmark, once, capsys):
+    per_bench, tp_stats, sp_stats = once(benchmark, _measure)
+    rows = [[name, count, f"{cov * 100:.0f}%",
+             f"{PROXY_COVERAGE[name] * 100:.0f}%"]
+            for name, (count, cov) in per_bench.items()]
+    total = sum(c for c, _ in per_bench.values())
+    mean_cov = statistics.mean(c for _, c in per_bench.values())
+    with capsys.disabled():
+        print()
+        print(format_table(
+            "Chopstix proxy extraction per benchmark",
+            ["benchmark", "proxies", "coverage", "paper coverage"],
+            rows))
+        print(f"total proxies: {total} (paper: 1935 at full app scale); "
+              f"mean coverage {mean_cov * 100:.0f}% (paper ~70%)")
+        print(f"Tracepoints CPI error {tp_stats['cpi_error_pct']:.1f}% "
+              f"vs largest SimPoint {sp_stats['cpi_error_pct']:.1f}%")
+    assert total >= 40
+    assert 0.4 < mean_cov <= 1.0
+    for name, (_count, cov) in per_bench.items():
+        assert cov <= PROXY_COVERAGE[name] + 0.35
+    assert tp_stats["cpi_error_pct"] < 60.0

@@ -1,0 +1,70 @@
+"""Table I — chip features and efficiency projections.
+
+Regenerates the enumerated chip attributes from the configurations and
+measures the two efficiency rows (2.6x core perf/W, up to 3x socket)
+on the SPECint proxy suite, the same workload basis the paper used.
+"""
+
+from repro.analysis import format_table
+from repro.core import (POWER9_SOCKET, POWER10_SOCKET, power9_config,
+                        power10_config, project_socket)
+from repro.core.pipeline import simulate
+from repro.power import EinspowerModel
+from repro.workloads import specint_proxies
+
+
+def _core_efficiency():
+    proxies = specint_proxies(instructions=8000)
+    p9, p10 = power9_config(), power10_config()
+    rows = []
+    for trace in proxies:
+        r9 = simulate(p9, trace, warmup_fraction=0.3)
+        r10 = simulate(p10, trace, warmup_fraction=0.3)
+        w9 = EinspowerModel(p9).report(r9.activity).total_w
+        w10 = EinspowerModel(p10).report(r10.activity).total_w
+        rows.append((trace.weight, r10.ipc / r9.ipc, w10 / w9,
+                     r9.ipc, w9, r10.ipc, w10))
+    total = sum(r[0] for r in rows)
+    wavg = lambda idx: sum(r[0] * r[idx] for r in rows) / total
+    return {
+        "perf_ratio": wavg(1),
+        "power_ratio": wavg(2),
+        "p9_ipc": wavg(3), "p9_w": wavg(4),
+        "p10_ipc": wavg(5), "p10_w": wavg(6),
+    }
+
+
+def test_table1(benchmark, once, capsys):
+    stats = once(benchmark, _core_efficiency)
+    core_eff = stats["perf_ratio"] / stats["power_ratio"]
+    p9_socket = project_socket(POWER9_SOCKET, stats["p9_ipc"],
+                               stats["p9_w"])
+    p10_socket = project_socket(POWER10_SOCKET, stats["p10_ipc"],
+                                stats["p10_w"])
+    socket_eff = p10_socket.efficiency / p9_socket.efficiency
+
+    p10 = power10_config()
+    with capsys.disabled():
+        print()
+        print(format_table(
+            "Table I: POWER10 chip features & efficiency projections",
+            ["attribute", "value", "paper"],
+            [
+                ["Functional cores (socket)", POWER10_SOCKET.cores, "15/chip (60 SMT4-equiv socket)"],
+                ["SMT per core", "8-way", "8-way"],
+                ["L2 cache per core",
+                 f"{p10.hierarchy.l2.size_bytes // 1024} KB", "2MB"],
+                ["TLB entries (vs POWER9)",
+                 f"{p10.mmu.tlb_entries // power9_config().mmu.tlb_entries}x",
+                 "4x"],
+                ["Perf/watt (core, SPECint proxies)",
+                 f"{core_eff:.2f}x", "2.6x"],
+                ["  - performance ratio",
+                 f"{stats['perf_ratio']:.2f}x", "1.3x"],
+                ["  - power ratio",
+                 f"{stats['power_ratio']:.2f}x", "0.5x"],
+                ["Energy efficiency (socket)",
+                 f"{socket_eff:.2f}x", "up to 3x"],
+            ]))
+    assert 2.0 < core_eff < 3.2
+    assert 1.8 < socket_eff < 3.6

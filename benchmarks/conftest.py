@@ -1,0 +1,21 @@
+"""Benchmark harness conventions.
+
+Every ``bench_*`` module reproduces one table or figure of the paper.
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round — these are reproductions, not microbenchmarks) and prints
+the regenerated rows/series via :mod:`repro.analysis.report`, so
+``pytest benchmarks/ --benchmark-only -s`` emits the full experiment
+log that EXPERIMENTS.md quotes.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The Section IV power-management stack, end to end.
+
+* designs a 16-counter power proxy from characterized workloads,
+* feeds proxy readings to the WOF governor (with MMA power gating),
+* shows the fine-grained throttle holding a fixed-frequency core under
+  its power limit,
+* runs a di/dt event through the supply model, droop sensor and coarse
+  throttle.
+"""
+
+from repro.core import power10_config, simulate_trace
+from repro.pm import (CoarseThrottle, DigitalDroopSensor,
+                      FineGrainThrottle, SupplyModel, WofDesignPoint,
+                      WofGovernor, run_throttled_current, simulate_droop)
+from repro.power import PowerProxyDesigner
+from repro.workloads import max_power_stressmark, specint_proxies
+
+
+def main():
+    config = power10_config()
+
+    # -- power proxy design (Fig. 15 flow) -------------------------------
+    designer = PowerProxyDesigner(config)
+    traces = specint_proxies(instructions=5000,
+                             names=["xz", "x264", "leela", "exchange2"])
+    feats, active, total = designer.characterize(traces)
+    design = designer.select(feats, active, total, num_counters=16)
+    print(f"power proxy: {design.num_counters} counters selected:")
+    for counter in design.counters:
+        print(f"  - {counter}")
+
+    # -- WOF: typical workload boosts, stressmark does not ---------------
+    stress = simulate_trace(config, max_power_stressmark(3000))
+    governor = WofGovernor(config, WofDesignPoint(
+        tdp_core_w=stress.power_w, rdp_core_w=stress.power_w * 1.1))
+    typical_w = float(design.predict_total_w(feats).mean())
+    boost = governor.decide("specint-typical", typical_w, mma_idle=True)
+    worst = governor.decide("stressmark", stress.power_w)
+    print(f"\nWOF: typical workload ({typical_w:.2f} W proxy) -> "
+          f"{boost.boost_ghz:.2f} GHz (+{(boost.boost_ratio - 1) * 100:.0f}%"
+          f", MMA gated: {boost.mma_gated})")
+    print(f"WOF: stressmark ({stress.power_w:.2f} W) -> "
+          f"{worst.boost_ghz:.2f} GHz (no boost)")
+
+    # -- fine-grained throttle at fixed frequency ------------------------
+    throttle = FineGrainThrottle(limit_w=typical_w * 1.1)
+    state = throttle.settle(open_loop_power_w=stress.power_w)
+    print(f"\nfine throttle: stressmark held at "
+          f"{state.power_estimate_w:.2f} W with duty {state.duty:.2f} "
+          f"(limit {throttle.limit_w:.2f} W)")
+
+    # -- droop event: sensor + coarse throttle ---------------------------
+    currents = [2.0] * 300 + [28.0] * 300
+    _, flags, sensor = simulate_droop(list(currents))
+    v_closed, duties = run_throttled_current(
+        list(currents), DigitalDroopSensor(), SupplyModel(),
+        CoarseThrottle())
+    print(f"\nDDS: open-loop droop events: {len(sensor.events)} "
+          f"(tripped cycles: {sum(flags)})")
+    print(f"coarse throttle engaged, min duty {min(duties):.2f}, "
+          f"min voltage {min(v_closed):.0f} mV")
+
+
+if __name__ == "__main__":
+    main()

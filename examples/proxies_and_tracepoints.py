@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The Section III-A workload methodology: Chopstix proxies, SimPoint
+and Tracepoints.
+
+* extracts L1-contained proxy snippets from a synthetic SPECint
+  application (top-function profiling, coverage accounting),
+* selects SimPoint representative intervals via BBV clustering,
+* builds a Tracepoints representative from epoch-level performance
+  counters and validates both against the full run.
+"""
+
+from repro.core import power9_config
+from repro.tracegen import (build_tracepoint, pick_simpoints,
+                            validate_against_reference)
+from repro.workloads import (extract_proxies, specint_suite,
+                             suite_coverage)
+
+
+def main():
+    config = power9_config(cache_scale=8)
+    app = specint_suite(instructions=20000, footprint_scale=8,
+                        names=["leela"])[0]
+    print(f"application: {app.name}, {len(app)} instructions")
+
+    # -- Chopstix proxies -------------------------------------------------
+    proxies = extract_proxies(app, top_functions=10, coverage=0.8)
+    print(f"\nChopstix: {len(proxies)} proxies, "
+          f"coverage {suite_coverage(proxies) * 100:.0f}%")
+    for proxy in proxies[:5]:
+        print(f"  {proxy.name:18s} weight {proxy.weight:.3f} "
+              f"({len(proxy)} instructions, L1-contained)")
+
+    # -- SimPoint ----------------------------------------------------------
+    simpoints = pick_simpoints(app, interval=2000, max_clusters=5)
+    print(f"\nSimPoint: {len(simpoints.simpoints)} clusters")
+    for sp in simpoints.simpoints:
+        print(f"  cluster {sp.cluster}: interval {sp.interval_index}, "
+              f"weight {sp.weight:.2f}")
+
+    # -- Tracepoints --------------------------------------------------------
+    tracepoint = build_tracepoint(config, app, epoch_instructions=2000,
+                                  epochs_to_select=5)
+    print(f"\nTracepoints: selected epochs {tracepoint.selected_epochs} "
+          f"(target CPI {tracepoint.target_cpi:.2f}, achieved "
+          f"{tracepoint.achieved_cpi:.2f})")
+    stats = validate_against_reference(config, app, tracepoint.trace)
+    print(f"validation vs full run: CPI error "
+          f"{stats['cpi_error_pct']:.1f}% "
+          f"(full {stats['full_cpi']:.2f}, representative "
+          f"{stats['representative_cpi']:.2f})")
+
+
+if __name__ == "__main__":
+    main()

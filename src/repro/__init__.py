@@ -1,0 +1,28 @@
+"""repro — a reproduction of "Energy Efficiency Boost in the AI-Infused
+POWER10 Processor" (ISCA 2021).
+
+The package models the paper's two subjects — the POWER10 core's energy
+efficiency mechanisms and the MMA inline AI accelerator — together with
+the complete pre-silicon methodology built around them (Einspower /
+Powerminer / APEX power tooling, workload proxies and Tracepoints,
+counter-based power models, SERMiner reliability analysis, and the WOF
+power-management stack).
+
+Quickstart::
+
+    from repro.core import power9_config, power10_config, simulate_trace
+    from repro.workloads import specint_proxies
+
+    trace = specint_proxies(names=["xz"])[0]
+    p9 = simulate_trace(power9_config(), trace)
+    p10 = simulate_trace(power10_config(), trace)
+    print(p10.ipc / p9.ipc, p10.power_w / p9.power_w)
+"""
+
+__version__ = "1.0.0"
+
+from . import (analysis, core, pm, power, reliability, tracegen,
+               workloads)
+
+__all__ = ["analysis", "core", "pm", "power", "reliability", "tracegen",
+           "workloads", "__version__"]

@@ -1,0 +1,23 @@
+"""Analysis utilities: metrics, constrained regression, and report
+formatting for the benchmark harness."""
+
+from .metrics import (bips, efficiency_gain, energy_delay_product, geomean,
+                      perf_per_watt, weighted_mean)
+from .regression import (FitResult, GreedyFeatureSelector,
+                         mean_abs_pct_error, nnls, ols, predict)
+from .report import format_comparison, format_series, format_table
+from .validate import (EnvironmentRow, PowerValidationRow,
+                       RegressionReport, cross_environment_performance,
+                       cross_model_power, generational_goal_check,
+                       regression_check)
+
+__all__ = [
+    "bips", "efficiency_gain", "energy_delay_product", "geomean",
+    "perf_per_watt", "weighted_mean",
+    "FitResult", "GreedyFeatureSelector", "mean_abs_pct_error",
+    "nnls", "ols", "predict",
+    "format_comparison", "format_series", "format_table",
+    "EnvironmentRow", "PowerValidationRow", "RegressionReport",
+    "cross_environment_performance", "cross_model_power",
+    "generational_goal_check", "regression_check",
+]

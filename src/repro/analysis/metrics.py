@@ -1,0 +1,55 @@
+"""Performance/efficiency metrics shared by benchmarks and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..errors import ModelError
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the SPEC aggregation rule)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ModelError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ModelError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def weighted_mean(values: Sequence[float],
+                  weights: Sequence[float]) -> float:
+    if len(values) != len(weights) or not values:
+        raise ModelError("values and weights must align and be non-empty")
+    total = sum(weights)
+    if total <= 0:
+        raise ModelError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def bips(ipc: float, frequency_ghz: float) -> float:
+    """Billions of instructions per second (Fig. 2's y-axis)."""
+    if ipc < 0 or frequency_ghz <= 0:
+        raise ModelError("ipc must be >= 0 and frequency positive")
+    return ipc * frequency_ghz
+
+
+def perf_per_watt(ipc: float, power_w: float) -> float:
+    if power_w <= 0:
+        raise ModelError("power must be positive")
+    return ipc / power_w
+
+
+def energy_delay_product(power_w: float, seconds: float) -> float:
+    """EDP = energy x delay; lower is better."""
+    if power_w < 0 or seconds <= 0:
+        raise ModelError("need non-negative power and positive time")
+    return power_w * seconds * seconds
+
+
+def efficiency_gain(perf_ratio: float, power_ratio: float) -> float:
+    """Perf/W ratio between two designs (the paper's 2.6x metric)."""
+    if perf_ratio <= 0 or power_ratio <= 0:
+        raise ModelError("ratios must be positive")
+    return perf_ratio / power_ratio

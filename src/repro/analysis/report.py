@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting for benchmark harness output.
+
+Every ``benchmarks/bench_*.py`` prints the rows/series of its paper
+table or figure through these helpers, so the output format is uniform
+and EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    cols = len(headers)
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError("row width does not match headers")
+    cells = [[str(h) for h in headers]] + \
+            [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(cols)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping[str, Sequence[float]],
+                  x_label: str, x_values: Sequence[object]) -> str:
+    """A figure rendered as one column per series (x in the first)."""
+    headers = [x_label] + list(series.keys())
+    rows: List[List[object]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [vals[i] for vals in series.values()])
+    return format_table(title, headers, rows)
+
+
+def format_comparison(title: str, paper: Mapping[str, float],
+                      measured: Mapping[str, float]) -> str:
+    """Paper-vs-measured table for EXPERIMENTS.md."""
+    rows = []
+    for key in paper:
+        p = paper[key]
+        m = measured.get(key, float("nan"))
+        ratio = m / p if p else float("nan")
+        rows.append([key, round(p, 3), round(m, 3), f"{ratio:.2f}x"])
+    return format_table(title, ["quantity", "paper", "measured",
+                                "measured/paper"], rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare``  — POWER9 vs POWER10 on the SPECint proxy suite (the
+  Table I headline numbers);
+* ``gemm``     — the Fig. 5 DGEMM kernel comparison;
+* ``ai``       — the Fig. 6 end-to-end AI projections;
+* ``depth``    — the Fig. 2 pipeline-depth study;
+* ``derating`` — the Fig. 13/14 SERMiner analysis;
+* ``wof``      — power-proxy design + WOF boost decisions;
+* ``yield``    — PFLY/CLY offering sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import format_table
+    from .core import power9_config, power10_config
+    from .core.pipeline import simulate
+    from .power import EinspowerModel
+    from .workloads import specint_proxies
+
+    proxies = specint_proxies(instructions=args.instructions)
+    p9, p10 = power9_config(), power10_config()
+    rows = []
+    wsum = perf = power = 0.0
+    for trace in proxies:
+        r9 = simulate(p9, trace, warmup_fraction=0.3)
+        r10 = simulate(p10, trace, warmup_fraction=0.3)
+        w9 = EinspowerModel(p9).report(r9.activity).total_w
+        w10 = EinspowerModel(p10).report(r10.activity).total_w
+        wsum += trace.weight
+        perf += trace.weight * r10.ipc / r9.ipc
+        power += trace.weight * w10 / w9
+        if args.verbose:
+            rows.append([trace.name, f"{r9.ipc:.2f}", f"{r10.ipc:.2f}",
+                         f"{r10.ipc / r9.ipc:.2f}x",
+                         f"{w10 / w9:.2f}x"])
+    if rows:
+        print(format_table("per-proxy results",
+                           ["proxy", "P9 IPC", "P10 IPC", "perf",
+                            "power"], rows))
+    perf /= wsum
+    power /= wsum
+    print(f"POWER10 vs POWER9 (weighted over {len(proxies)} proxies): "
+          f"{perf:.2f}x perf @ {power:.2f}x power -> "
+          f"{perf / power:.2f}x perf/watt (paper: 1.3x @ 0.5x -> 2.6x)")
+    return 0
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    from .core import power9_config, power10_config
+    from .core.pipeline import simulate
+    from .power import EinspowerModel
+    from .workloads import dgemm_mma_trace, dgemm_vsu_trace
+
+    p9, p10 = power9_config(), power10_config()
+    runs = [("POWER9 VSU", p9, dgemm_vsu_trace(args.k)),
+            ("POWER10 VSU", p10, dgemm_vsu_trace(args.k)),
+            ("POWER10 MMA", p10, dgemm_mma_trace(args.k))]
+    base = None
+    for name, config, trace in runs:
+        result = simulate(config, trace, warmup_fraction=0.25)
+        watts = EinspowerModel(config).report(result.activity).total_w
+        if base is None:
+            base = (result.flops_per_cycle, watts)
+        print(f"{name:12s} {result.flops_per_cycle:6.2f} FLOPs/cyc "
+              f"({result.flops_per_cycle / base[0]:.2f}x)  "
+              f"{watts:.2f} W ({watts / base[1] - 1:+.1%})")
+    return 0
+
+
+def _cmd_ai(args: argparse.Namespace) -> int:
+    from .workloads.ai import (bert_large_profile, figure6_rows,
+                               resnet50_profile, socket_ai_speedup)
+    for profile in (resnet50_profile(), bert_large_profile()):
+        print(f"{profile.name}:")
+        for label, row in figure6_rows(profile).items():
+            print(f"  {label:18s} speedup {row['speedup']:.2f}x")
+        print(f"  socket FP32 {socket_ai_speedup(profile):.1f}x, "
+              f"INT8 {socket_ai_speedup(profile, dtype='int8'):.1f}x")
+    return 0
+
+
+def _cmd_depth(args: argparse.Namespace) -> int:
+    from .power import depth_study, optimal_fo4
+    curves = depth_study()
+    for budget, points in sorted(curves.items()):
+        print(f"power budget {budget:.2f}x -> optimal "
+              f"{optimal_fo4(points)} FO4")
+    return 0
+
+
+def _cmd_derating(args: argparse.Namespace) -> int:
+    from .core import power9_config, power10_config
+    from .reliability import compare_generations
+    from .workloads import derating_suites, specint_proxies
+    suites = derating_suites(smt_levels=(1, 2), instructions=1500)
+    suites += specint_proxies(instructions=2500,
+                              names=["xz", "x264", "leela"])
+    results = compare_generations(power9_config(), power10_config(),
+                                  suites, vt_values=(10, 50, 90))
+    for name, r in results.items():
+        runtime = {vt: round(v, 1)
+                   for vt, v in r.runtime_derating_pct.items()}
+        print(f"{name}: static {r.static_derating_pct:.1f}%  "
+              f"runtime {runtime}")
+    return 0
+
+
+def _cmd_wof(args: argparse.Namespace) -> int:
+    from .core import power10_config, simulate_trace
+    from .pm import WofDesignPoint, WofGovernor
+    from .workloads import max_power_stressmark, specint_proxies
+    config = power10_config()
+    stress = simulate_trace(config, max_power_stressmark(3000))
+    governor = WofGovernor(config, WofDesignPoint(
+        tdp_core_w=stress.power_w, rdp_core_w=stress.power_w * 1.1))
+    for trace in specint_proxies(instructions=4000,
+                                 names=["xz", "exchange2"]):
+        run = simulate_trace(config, trace)
+        decision = governor.decide(trace.name, run.power_w,
+                                   mma_idle=True)
+        print(f"{trace.name:16s} {run.power_w:.2f} W -> "
+              f"{decision.boost_ghz:.2f} GHz "
+              f"(+{(decision.boost_ratio - 1) * 100:.0f}%)")
+    return 0
+
+
+def _cmd_yield(args: argparse.Namespace) -> int:
+    from .pm import (Offering, ProcessVariation, YieldAnalyzer,
+                     sample_dies)
+    dies = sample_dies(ProcessVariation(), args.dies)
+    analyzer = YieldAnalyzer(core_dynamic_w=2.0, core_leakage_w=0.5)
+    for freq in (3.6, 3.9, 4.2, 4.5):
+        offering = Offering(f"12c@{freq}", frequency_ghz=freq,
+                            good_cores=12,
+                            socket_power_budget_w=args.budget)
+        result = analyzer.evaluate(offering, dies)
+        print(f"{offering.name:10s} yield "
+              f"{result.yield_fraction * 100:5.1f}%  "
+              f"losses {({k: round(v, 3) for k, v in result.limited_by.items()})}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="POWER10 energy-efficiency paper reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="P9 vs P10 on SPECint proxies")
+    p.add_argument("--instructions", type=int, default=8000)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("gemm", help="Fig. 5 DGEMM kernels")
+    p.add_argument("--k", type=int, default=1500,
+                   help="k-loop iterations")
+    p.set_defaults(func=_cmd_gemm)
+
+    p = sub.add_parser("ai", help="Fig. 6 AI projections")
+    p.set_defaults(func=_cmd_ai)
+
+    p = sub.add_parser("depth", help="Fig. 2 pipeline depth study")
+    p.set_defaults(func=_cmd_depth)
+
+    p = sub.add_parser("derating", help="Fig. 13/14 SERMiner")
+    p.set_defaults(func=_cmd_derating)
+
+    p = sub.add_parser("wof", help="power proxy + WOF decisions")
+    p.set_defaults(func=_cmd_wof)
+
+    p = sub.add_parser("yield", help="PFLY/CLY offering sweep")
+    p.add_argument("--dies", type=int, default=2000)
+    p.add_argument("--budget", type=float, default=130.0)
+    p.set_defaults(func=_cmd_yield)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

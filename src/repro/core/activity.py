@@ -1,0 +1,139 @@
+"""Per-unit activity accounting for the core timing model.
+
+The paper's entire power methodology (Einspower reports, Powerminer
+switching stats, APEX extraction, counter-based models, the hardware
+power proxy, SERMiner derating) consumes *activity*: how often each
+structure was clocked, read, written or left idle.  The timing model
+emits that activity through :class:`ActivityCounters`, which is the
+single interface between the performance substrate and every power tool
+in :mod:`repro.power`.
+
+Events are plain string keys.  The canonical event list lives in
+``EVENT_NAMES``; counting an unknown event raises, which catches typos in
+the pipeline model early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+# Canonical activity events.  Each maps to one component in
+# repro.power.components; the mapping itself lives there so the timing
+# model stays power-agnostic.
+EVENT_NAMES = (
+    # front end
+    "fetch_instr",            # instruction fetched (includes wrong path)
+    "icache_access",          # 32B sector read from L1I
+    "icache_miss",
+    "predecode_instr",
+    "bp_dir_lookup",          # direction predictor lookup
+    "bp_tgt_lookup",          # target (BTB / indirect) lookup
+    "bp_mispredict",
+    "ibuffer_write",
+    "decode_instr",           # architected instruction decoded
+    "fusion_pair",            # two instructions fused into one iop
+    "dispatch_iop",
+    "rename_write",
+    "issueq_write",
+    "issueq_wakeup",
+    # execution
+    "issue_fx",
+    "issue_fx_muldiv",
+    "issue_branch",
+    "issue_cr",
+    "issue_fp",
+    "issue_vsx",              # one 128-bit VSX op
+    "issue_mma",              # one MMA outer-product op (512-bit result)
+    "mma_acc_access",         # accumulator read-modify-write
+    "mma_move",
+    "rf_read",
+    "rf_write",
+    # load/store and translation
+    "agen",
+    "l1d_access",
+    "l1d_miss",
+    "load_issue",
+    "store_issue",
+    "loadq_write",
+    "storeq_write",
+    "storeq_merge",           # two store-queue entries merged/gathered
+    "lmq_alloc",
+    "erat_lookup",            # EA->RA translation performed
+    "erat_miss",
+    "tlb_lookup",
+    "tlb_miss",
+    "tablewalk",
+    "prefetch_issued",
+    "prefetch_useful",
+    # second/third level cache
+    "l2_access",
+    "l2_miss",
+    "l3_access",
+    "l3_miss",
+    "mem_access",
+    # back end
+    "complete_instr",
+    "flush_instr",            # wrong-path instruction discarded
+    "flush_event",            # pipeline flush (per mispredict/exception)
+)
+
+_EVENT_SET = frozenset(EVENT_NAMES)
+
+# Units whose busy-cycle occupancy is tracked for clock-gating modeling.
+UNIT_NAMES = (
+    "ifu", "decode", "dispatch", "issueq", "fx", "fx_muldiv", "branch",
+    "cr", "fp", "vsu", "mma", "regfile", "lsu", "l1d", "erat_mmu",
+    "prefetch", "l2", "l3", "completion",
+)
+
+
+@dataclass
+class ActivityCounters:
+    """Accumulates event counts and per-unit busy cycles for one run."""
+
+    cycles: int = 0
+    instructions: int = 0          # completed (architected) instructions
+    events: Dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(EVENT_NAMES, 0))
+    unit_busy_cycles: Dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(UNIT_NAMES, 0))
+
+    def count(self, event: str, n: int = 1) -> None:
+        if event not in _EVENT_SET:
+            raise KeyError(f"unknown activity event: {event!r}")
+        self.events[event] += n
+
+    def busy(self, unit: str, cycles: int = 1) -> None:
+        if unit not in self.unit_busy_cycles:
+            raise KeyError(f"unknown unit: {unit!r}")
+        self.unit_busy_cycles[unit] += cycles
+
+    def utilization(self, unit: str) -> float:
+        """Fraction of run cycles the unit was doing useful work."""
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.unit_busy_cycles[unit] / self.cycles)
+
+    def merge(self, other: "ActivityCounters") -> None:
+        """Accumulate another run's activity into this one (in place)."""
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        for key, val in other.events.items():
+            self.events[key] += val
+        for key, val in other.unit_busy_cycles.items():
+            self.unit_busy_cycles[key] += val
+
+    def as_vector(self, names: Iterable[str]) -> List[float]:
+        """Event counts in a fixed order, for regression model features."""
+        return [float(self.events[name]) for name in names]
+
+    def rates(self) -> Mapping[str, float]:
+        """Events per cycle — the natural feature space for power models."""
+        if self.cycles <= 0:
+            return {name: 0.0 for name in EVENT_NAMES}
+        return {name: cnt / self.cycles for name, cnt in self.events.items()}
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0

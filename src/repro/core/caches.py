@@ -1,0 +1,191 @@
+"""Set-associative cache models and the POWER cache hierarchy.
+
+Two properties matter for the paper's results and are modeled here:
+
+* geometry (size/associativity/latency) per level — POWER10 grows the
+  L1I to 48 KB 6-way, the private L2 to 2 MB, and trims latencies;
+* the tagging scheme of the L1s — POWER9 L1s are real-address (RA)
+  tagged so *every* access pays an ERAT translation, while POWER10 L1s
+  are effective-address (EA) tagged so translation is only needed on an
+  L1 miss.  The tagging flag lives here; the energy consequence is
+  applied by the LSU model.
+
+Caches are LRU, write-allocate, with 64-byte lines.  A simple stream
+prefetcher (16 streams on POWER10) can be attached in front of the L2.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+LINE_BYTES = 64
+
+
+@dataclass
+class CacheGeometry:
+    """Static shape of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    latency: int                 # load-to-use cycles on hit at this level
+    ea_tagged: bool = False      # True: indexed+tagged by effective address
+    line_bytes: int = LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError("cache size must be a whole number of sets")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+class Cache:
+    """One LRU set-associative cache level."""
+
+    def __init__(self, geometry: CacheGeometry, name: str = "cache"):
+        self.geometry = geometry
+        self.name = name
+        self._sets: Dict[int, OrderedDict] = {}
+        self.accesses = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.geometry.line_bytes
+        return line % self.geometry.num_sets, line
+
+    def probe(self, address: int) -> bool:
+        """Check presence without updating LRU or counters."""
+        set_idx, tag = self._locate(address)
+        cache_set = self._sets.get(set_idx)
+        return cache_set is not None and tag in cache_set
+
+    def access(self, address: int) -> bool:
+        """Access a line; returns True on hit.  Misses allocate."""
+        self.accesses += 1
+        set_idx, tag = self._locate(address)
+        cache_set = self._sets.setdefault(set_idx, OrderedDict())
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return True
+        self.misses += 1
+        cache_set[tag] = True
+        if len(cache_set) > self.geometry.associativity:
+            cache_set.popitem(last=False)
+        return False
+
+    def fill(self, address: int) -> None:
+        """Install a line (prefetch path) without counting an access."""
+        set_idx, tag = self._locate(address)
+        cache_set = self._sets.setdefault(set_idx, OrderedDict())
+        cache_set[tag] = True
+        cache_set.move_to_end(tag)
+        if len(cache_set) > self.geometry.associativity:
+            cache_set.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        self._sets.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class StreamPrefetcher:
+    """Stride-1 stream prefetcher in front of the L2/L3.
+
+    Tracks up to ``max_streams`` ascending-line streams; once a stream is
+    confirmed it prefetches ``depth`` lines ahead into the target cache.
+    POWER10 supports 16 streams with L3 prefetch extension (48 entries).
+    """
+
+    def __init__(self, max_streams: int = 16, depth: int = 4):
+        self.max_streams = max_streams
+        self.depth = depth
+        self._streams: OrderedDict = OrderedDict()   # start line -> next
+        self.issued = 0
+        self.useful = 0
+
+    def train(self, address: int) -> list:
+        """Observe a demand miss; returns line addresses to prefetch."""
+        line = address // LINE_BYTES
+        for key, expected in list(self._streams.items()):
+            if line == expected:
+                self._streams[key] = line + 1
+                self._streams.move_to_end(key)
+                self.issued += self.depth
+                return [(line + 1 + i) * LINE_BYTES
+                        for i in range(self.depth)]
+        self._streams[line] = line + 1
+        if len(self._streams) > self.max_streams:
+            self._streams.popitem(last=False)
+        return []
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a hierarchy access: service level and latency."""
+
+    level: str                   # "l1" | "l2" | "l3" | "mem"
+    latency: int
+    l1_hit: bool
+    prefetch_hit: bool = False
+
+
+@dataclass
+class HierarchyGeometry:
+    """Cache-hierarchy shape for one core configuration."""
+
+    l1i: CacheGeometry
+    l1d: CacheGeometry
+    l2: CacheGeometry
+    l3: CacheGeometry
+    memory_latency: int
+    prefetch_streams: int = 8
+    prefetch_depth: int = 4
+    # Chip-model vs core-model switch (Fig. 10): the core model idealizes
+    # everything past the L2 ("infinite L2" in the paper's terms).
+    infinite_l2: bool = False
+
+
+class CacheHierarchy:
+    """L1D/L1I + shared-path L2/L3 + memory, with stream prefetch."""
+
+    def __init__(self, geometry: HierarchyGeometry):
+        self.geometry = geometry
+        self.l1i = Cache(geometry.l1i, "l1i")
+        self.l1d = Cache(geometry.l1d, "l1d")
+        self.l2 = Cache(geometry.l2, "l2")
+        self.l3 = Cache(geometry.l3, "l3")
+        self.prefetcher = StreamPrefetcher(geometry.prefetch_streams,
+                                           geometry.prefetch_depth)
+
+    def access_instruction(self, address: int) -> AccessResult:
+        if self.l1i.access(address):
+            return AccessResult("l1", self.geometry.l1i.latency, True)
+        return self._lower_levels(address, self.geometry.l1i.latency)
+
+    def access_data(self, address: int) -> AccessResult:
+        if self.l1d.access(address):
+            return AccessResult("l1", self.geometry.l1d.latency, True)
+        return self._lower_levels(address, self.geometry.l1d.latency)
+
+    def _lower_levels(self, address: int, l1_latency: int) -> AccessResult:
+        if self.geometry.infinite_l2:
+            return AccessResult("l2", self.geometry.l2.latency, False)
+        prefetched = self.l2.probe(address)
+        if self.l2.access(address):
+            if prefetched:
+                # keep confirmed streams running ahead of the demand
+                for line_addr in self.prefetcher.train(address):
+                    self.l2.fill(line_addr)
+                    self.prefetcher.useful += 1
+            return AccessResult("l2", self.geometry.l2.latency, False,
+                                prefetch_hit=prefetched)
+        for line_addr in self.prefetcher.train(address):
+            self.l2.fill(line_addr)
+        if self.l3.access(address):
+            return AccessResult("l3", self.geometry.l3.latency, False)
+        return AccessResult("mem", self.geometry.memory_latency, False)

@@ -1,0 +1,174 @@
+"""A compact model of the Power ISA subset relevant to this reproduction.
+
+The paper's evaluation depends on *classes* of instructions (fixed-point,
+load, store, branch, 128-bit VSX vector ops, 512-bit MMA outer products and
+accumulator moves) rather than on exact opcode semantics, so instructions
+are represented as lightweight records carrying:
+
+* an :class:`InstrClass` deciding which execution resource is used,
+* register dependencies (integer source/dest names as small ints),
+* an optional effective address and access size for memory operations,
+* branch metadata (taken/target) for control-flow instructions,
+* FLOP counts so kernels can report FLOPs/cycle the way Fig. 5 does.
+
+``Instruction`` is deliberately a plain mutable dataclass: workload
+generators create millions of them and the timing model annotates them
+in place (fusion, flush marking).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class InstrClass(enum.Enum):
+    """Execution class of an instruction.
+
+    The classes map one-to-one onto the issue resources of the modeled
+    cores (see :mod:`repro.core.config`).
+    """
+
+    FX = "fx"              # fixed point ALU (add, logical, rotate...)
+    FX_MULDIV = "fxmd"     # long-latency fixed point (mul/div)
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    BRANCH_IND = "branch_ind"   # indirect branch (bclr/bcctr style)
+    FP = "fp"              # scalar floating point
+    VSX = "vsx"            # 128-bit vector-scalar SIMD op
+    VSX_LOAD = "vsx_load"  # vector load (up to 32B on POWER10)
+    VSX_STORE = "vsx_store"
+    MMA = "mma"            # outer-product op targeting an accumulator
+    MMA_MOVE = "mma_move"  # xxmtacc/xxmfacc style accumulator moves
+    CR = "cr"              # condition register logic
+    SYSTEM = "system"      # sync, isync, mtspr ... rarely modeled
+
+    @property
+    def is_memory(self) -> bool:
+        return self in _MEMORY_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self in (InstrClass.LOAD, InstrClass.VSX_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (InstrClass.STORE, InstrClass.VSX_STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self in (InstrClass.BRANCH, InstrClass.BRANCH_IND)
+
+    @property
+    def is_vector(self) -> bool:
+        return self in (InstrClass.VSX, InstrClass.VSX_LOAD,
+                        InstrClass.VSX_STORE)
+
+    @property
+    def is_mma(self) -> bool:
+        return self in (InstrClass.MMA, InstrClass.MMA_MOVE)
+
+
+_MEMORY_CLASSES = frozenset({
+    InstrClass.LOAD, InstrClass.STORE,
+    InstrClass.VSX_LOAD, InstrClass.VSX_STORE,
+})
+
+
+# Register-name spaces.  The unified POWER10 register file holds GPR and
+# FPR/VSR data in one sliced structure; we keep distinct name ranges so
+# dependence tracking stays simple while the *power* model can still charge
+# accesses to the unified structure.
+GPR_BASE = 0          # r0..r31        -> names [0, 32)
+VSR_BASE = 64         # vs0..vs63      -> names [64, 128)
+ACC_BASE = 256        # acc0..acc7     -> names [256, 264)
+CR_BASE = 300         # cr fields      -> names [300, 308)
+LR_NAME = 320
+CTR_NAME = 321
+
+NUM_GPRS = 32
+NUM_VSRS = 64
+NUM_ACCS = 8
+
+
+@dataclass
+class Instruction:
+    """One dynamic instruction in a workload trace.
+
+    Attributes
+    ----------
+    iclass:
+        Execution class (decides the issue resource and base latency).
+    dests / srcs:
+        Register names written / read.  Names use the bases defined in
+        this module (``GPR_BASE``, ``VSR_BASE``, ``ACC_BASE``...).
+    address / size:
+        Effective address and byte count for memory operations.
+    taken / target:
+        For branches: resolved direction and target address.
+    flops:
+        Floating point operations performed (for FLOPs/cycle reporting).
+        An MMA ``xvf64ger`` style op on a 4x2 fp64 grid performs
+        16 FLOPs (8 MACs); a 128-bit fp64 FMA performs 4.
+    pc:
+        Instruction address, used for I-cache and branch predictor
+        indexing and BBV construction.
+    thread:
+        Hardware thread id (SMT).
+    """
+
+    iclass: InstrClass
+    dests: Tuple[int, ...] = ()
+    srcs: Tuple[int, ...] = ()
+    address: Optional[int] = None
+    size: int = 0
+    taken: bool = False
+    target: Optional[int] = None
+    flops: int = 0
+    pc: int = 0
+    thread: int = 0
+    # Filled in by the pipeline: True when this instruction was fetched
+    # down a wrong path and flushed (it consumed energy but did no work).
+    flushed: bool = field(default=False, compare=False)
+    # Set by the fusion engine when this instruction was fused into its
+    # predecessor and no longer occupies its own issue slot.
+    fused_with_prev: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.iclass.is_memory and self.address is None:
+            raise ValueError(
+                f"memory instruction {self.iclass} requires an address")
+        if self.iclass.is_memory and self.size <= 0:
+            raise ValueError("memory instruction requires a positive size")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.iclass.is_memory
+
+
+def count_flops(instructions: Sequence[Instruction]) -> int:
+    """Total FLOPs across a trace (flushed instructions excluded)."""
+    return sum(i.flops for i in instructions if not i.flushed)
+
+
+# Base execution latencies (cycles), shared by POWER9/POWER10 models.
+# POWER10-specific deltas (e.g. reduced L2/L3 latency, extra RF stage)
+# live in :mod:`repro.core.config`.
+BASE_LATENCY = {
+    InstrClass.FX: 1,
+    InstrClass.FX_MULDIV: 5,
+    InstrClass.LOAD: 4,          # L1 hit load-to-use
+    InstrClass.STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.BRANCH_IND: 1,
+    InstrClass.FP: 6,
+    InstrClass.VSX: 6,
+    InstrClass.VSX_LOAD: 5,
+    InstrClass.VSX_STORE: 1,
+    InstrClass.MMA: 4,           # back-to-back capable via accumulators
+    InstrClass.MMA_MOVE: 3,
+    InstrClass.CR: 1,
+    InstrClass.SYSTEM: 10,
+}

@@ -1,0 +1,137 @@
+"""High-level simulation API: single runs, suites, and SMT sweeps.
+
+This is the public entry point most examples and benchmarks use:
+
+>>> from repro.core import power10_config, simulate_trace
+>>> result = simulate_trace(power10_config(), trace)
+>>> result.ipc, result.power_w
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError
+from .config import CoreConfig
+from .pipeline import SimResult, simulate
+from .activity import ActivityCounters
+
+
+def simulate_trace(config: CoreConfig, trace, *,
+                   with_power: bool = True) -> "RunMeasurement":
+    """Simulate one trace; optionally attach an Einspower power report."""
+    result = simulate(config, trace)
+    power_w = None
+    breakdown = None
+    if with_power:
+        from ..power.einspower import EinspowerModel
+        report = EinspowerModel(config).report(result.activity)
+        power_w = report.total_w
+        breakdown = report
+    return RunMeasurement(result=result, power_w=power_w,
+                          power_report=breakdown)
+
+
+@dataclass
+class RunMeasurement:
+    """SimResult plus the attached power report (if requested)."""
+
+    result: SimResult
+    power_w: Optional[float] = None
+    power_report: Optional[object] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+    @property
+    def cpi(self) -> float:
+        return self.result.cpi
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return self.result.flops_per_cycle
+
+    @property
+    def perf_per_watt(self) -> float:
+        if not self.power_w:
+            raise SimulationError("run was measured without power")
+        return self.result.ipc / self.power_w
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        """nJ per completed instruction (power x time / instructions)."""
+        if not self.power_w:
+            raise SimulationError("run was measured without power")
+        freq_hz = 1e9 * _freq_of(self.result)
+        seconds = self.result.cycles / freq_hz
+        return 1e9 * self.power_w * seconds / self.result.instructions
+
+
+def _freq_of(result: SimResult) -> float:
+    return float(result.metadata.get("frequency_ghz", 4.0))
+
+
+@dataclass
+class SuiteResult:
+    """Weighted aggregate over a suite of traces (e.g. SPECint proxies)."""
+
+    runs: List[RunMeasurement]
+    weights: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.runs) != len(self.weights):
+            raise ValueError("runs and weights must align")
+        if not self.runs:
+            raise ValueError("empty suite result")
+
+    @property
+    def mean_ipc(self) -> float:
+        return self._weighted(lambda r: r.ipc)
+
+    @property
+    def mean_power_w(self) -> float:
+        return self._weighted(lambda r: r.power_w or 0.0)
+
+    @property
+    def mean_cpi(self) -> float:
+        return self._weighted(lambda r: r.cpi)
+
+    @property
+    def perf_per_watt(self) -> float:
+        power = self.mean_power_w
+        if power <= 0:
+            raise SimulationError("suite has no power data")
+        return self.mean_ipc / power
+
+    @property
+    def total_flushed(self) -> int:
+        return sum(r.result.flushed_instructions for r in self.runs)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.result.instructions for r in self.runs)
+
+    def _weighted(self, fn) -> float:
+        total_w = sum(self.weights)
+        return sum(fn(r) * w for r, w in zip(self.runs, self.weights)) \
+            / total_w
+
+
+def simulate_suite(config: CoreConfig, traces: Sequence,
+                   with_power: bool = True) -> SuiteResult:
+    """Run a whole trace suite and aggregate by trace weight."""
+    runs = [simulate_trace(config, t, with_power=with_power)
+            for t in traces]
+    weights = [getattr(t, "weight", 1.0) for t in traces]
+    return SuiteResult(runs=runs, weights=weights)
+
+
+def compare_configs(configs: Sequence[CoreConfig], traces: Sequence,
+                    with_power: bool = True) -> Dict[str, SuiteResult]:
+    """Run the same suite across configs; keys are config names."""
+    out: Dict[str, SuiteResult] = {}
+    for config in configs:
+        out[config.name] = simulate_suite(config, traces, with_power)
+    return out

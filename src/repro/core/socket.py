@@ -1,0 +1,102 @@
+"""Socket-level scaling model.
+
+The paper's socket numbers layer three multipliers onto the per-core
+results: core count per socket (POWER9: 24 cores/dual-chip comparison
+point vs POWER10: up to 60 SMT4-equivalent cores → ~2.5x), a system
+factor (~1.1x from bandwidth/software/system configuration), and shared
+uncore power.  For AI workloads an additional precision factor applies
+when moving from FP32 to INT8 on the MMA (rank-4 int8 ger performs 4x
+the MACs of the rank-1 fp32 ger, of which roughly 2x survives end to
+end at the model level).
+
+Socket energy-efficiency ("up to 3x" in Table I) combines the core-level
+2.6x perf/W with uncore amortization over more cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass
+class SocketConfig:
+    """Socket composition for one generation."""
+
+    name: str
+    cores: int
+    core_power_w: float          # per-core power under the workload
+    uncore_power_w: float        # memory/IO/fabric, shared
+    system_factor: float = 1.0   # bandwidth/software/system uplift
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError("socket needs at least one core")
+        if self.core_power_w < 0 or self.uncore_power_w < 0:
+            raise ConfigError("power must be non-negative")
+
+
+POWER9_SOCKET = SocketConfig(
+    name="POWER9-socket", cores=24, core_power_w=0.0,
+    uncore_power_w=60.0, system_factor=1.0)
+
+POWER10_SOCKET = SocketConfig(
+    name="POWER10-socket", cores=60, core_power_w=0.0,
+    uncore_power_w=55.0, system_factor=1.1)
+
+
+@dataclass
+class SocketProjection:
+    """Socket throughput/power derived from a per-core measurement."""
+
+    name: str
+    throughput: float
+    power_w: float
+
+    @property
+    def efficiency(self) -> float:
+        if self.power_w <= 0:
+            raise ConfigError("socket power must be positive")
+        return self.throughput / self.power_w
+
+
+def project_socket(config: SocketConfig, core_throughput: float,
+                   core_power_w: float) -> SocketProjection:
+    """Scale a per-core (throughput, power) pair to the socket."""
+    if core_throughput < 0 or core_power_w < 0:
+        raise ConfigError("core measurements must be non-negative")
+    return SocketProjection(
+        name=config.name,
+        throughput=core_throughput * config.cores * config.system_factor,
+        power_w=core_power_w * config.cores + config.uncore_power_w)
+
+
+# Precision scaling on the MMA: MACs per ger instruction by dtype,
+# relative to fp32 (Section II-C: INT8 models reach 21x vs 10x for FP32,
+# i.e. ~2.1x from precision end to end).
+MMA_PRECISION_THROUGHPUT = {
+    "fp64": 0.5,
+    "fp32": 1.0,
+    "bf16": 2.0,
+    "int8": 4.0,
+}
+
+# Fraction of the raw precision throughput that survives at the
+# application level (quantization overheads, non-GEMM phases).
+# calibrated: 21x / 10x for int8 vs fp32 implies ~0.53 realization.
+MMA_PRECISION_REALIZATION = {
+    "fp64": 1.0,
+    "fp32": 1.0,
+    "bf16": 0.75,
+    "int8": 0.53,
+}
+
+
+def precision_speedup(dtype: str) -> float:
+    """End-to-end speedup factor of running the MMA at ``dtype``
+    relative to fp32."""
+    if dtype not in MMA_PRECISION_THROUGHPUT:
+        raise ConfigError(f"unknown MMA precision: {dtype!r}")
+    return (MMA_PRECISION_THROUGHPUT[dtype]
+            * MMA_PRECISION_REALIZATION[dtype])

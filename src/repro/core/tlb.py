@@ -1,0 +1,72 @@
+"""Address-translation structures: ERAT, TLB and the table walker.
+
+POWER10 quadruples MMU resources relative to POWER9 (Table I / Fig. 1):
+the modeled TLB grows from 1K to 4K entries.  More important for energy
+is *when* translation happens: with POWER9's RA-tagged L1s, the ERAT is
+looked up on every L1 access; with POWER10's EA-tagged L1s it is looked
+up only on an L1 miss.  That policy is applied by the LSU/pipeline —
+this module just provides the structures and their hit/miss behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+PAGE_BYTES = 4096
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of one effective-to-real translation."""
+
+    erat_hit: bool
+    tlb_hit: bool
+    extra_latency: int       # cycles added beyond the ERAT lookup itself
+
+
+class _LruTable:
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._table: OrderedDict = OrderedDict()
+        self.lookups = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        self.lookups += 1
+        if page in self._table:
+            self._table.move_to_end(page)
+            return True
+        self.misses += 1
+        self._table[page] = True
+        if len(self._table) > self.entries:
+            self._table.popitem(last=False)
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class MMU:
+    """ERAT backed by a TLB backed by a (fixed-latency) table walker."""
+
+    def __init__(self, erat_entries: int = 64, tlb_entries: int = 1024,
+                 tlb_latency: int = 10, walk_latency: int = 60):
+        self.erat = _LruTable(erat_entries)
+        self.tlb = _LruTable(tlb_entries)
+        self.tlb_latency = tlb_latency
+        self.walk_latency = walk_latency
+        self.tablewalks = 0
+
+    def translate(self, address: int) -> TranslationResult:
+        page = address // PAGE_BYTES
+        if self.erat.access(page):
+            return TranslationResult(True, True, 0)
+        if self.tlb.access(page):
+            return TranslationResult(False, True, self.tlb_latency)
+        self.tablewalks += 1
+        return TranslationResult(False, False,
+                                 self.tlb_latency + self.walk_latency)

@@ -1,0 +1,21 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or violates a precondition."""
+
+
+class ModelError(ReproError):
+    """A power/performance model could not be built or evaluated."""
+
+
+class SimulationError(ReproError):
+    """The core simulator entered an inconsistent state."""

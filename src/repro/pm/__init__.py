@@ -1,0 +1,22 @@
+"""Core power management (Section IV): Workload Optimized Frequency,
+instruction throttling, the digital droop sensor and the firmware loop."""
+
+from .wof import (MMAPowerGate, WofDecision, WofDesignPoint, WofGovernor)
+from .throttle import (CoarseThrottle, FineGrainThrottle, ThrottleState,
+                       run_throttled_current)
+from .dds import (DigitalDroopSensor, DroopEvent, SupplyModel,
+                  simulate_droop)
+from .occ import CoreTelemetry, OccTickResult, OnChipController
+from .yield_analysis import (DieSample, Offering, ProcessVariation,
+                             YieldAnalyzer, YieldResult,
+                             find_max_frequency_offering, sample_dies)
+
+__all__ = [
+    "MMAPowerGate", "WofDecision", "WofDesignPoint", "WofGovernor",
+    "CoarseThrottle", "FineGrainThrottle", "ThrottleState",
+    "run_throttled_current",
+    "DigitalDroopSensor", "DroopEvent", "SupplyModel", "simulate_droop",
+    "CoreTelemetry", "OccTickResult", "OnChipController",
+    "DieSample", "Offering", "ProcessVariation", "YieldAnalyzer",
+    "YieldResult", "find_max_frequency_offering", "sample_dies",
+]

@@ -1,0 +1,83 @@
+"""On-chip-controller style firmware loop tying the PM pieces together.
+
+A periodic control loop (the OCC runs at ~250us ticks on real parts)
+that reads the per-core power proxies, applies the WOF frequency
+decision for the socket, engages fine-grained throttling on cores that
+exceed their share, and manages MMA power gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ModelError
+from .throttle import FineGrainThrottle
+from .wof import MMAPowerGate, WofDecision, WofDesignPoint, WofGovernor
+
+
+@dataclass
+class CoreTelemetry:
+    """Per-tick input from one core."""
+
+    core_id: int
+    proxy_power_w: float
+    mma_busy: bool = False
+    wake_hint_seen: bool = False
+
+
+@dataclass
+class OccTickResult:
+    frequency_ghz: float
+    wof: WofDecision
+    core_duties: Dict[int, float]
+    socket_power_w: float
+    mma_powered: Dict[int, bool]
+
+
+class OnChipController:
+    """The firmware loop."""
+
+    def __init__(self, governor: WofGovernor, cores: int, *,
+                 socket_budget_w: float,
+                 tick_cycles: int = 100000):
+        if cores <= 0:
+            raise ModelError("need at least one core")
+        if socket_budget_w <= 0:
+            raise ModelError("socket budget must be positive")
+        self.governor = governor
+        self.cores = cores
+        self.socket_budget_w = socket_budget_w
+        self.tick_cycles = tick_cycles
+        per_core = socket_budget_w / cores
+        self._throttles = {i: FineGrainThrottle(per_core * 1.15)
+                           for i in range(cores)}
+        self._gates = {i: MMAPowerGate() for i in range(cores)}
+        self.history: List[OccTickResult] = []
+
+    def tick(self, telemetry: List[CoreTelemetry]) -> OccTickResult:
+        """One control interval."""
+        if len(telemetry) != self.cores:
+            raise ModelError("telemetry must cover every core")
+        socket_power = sum(t.proxy_power_w for t in telemetry)
+        mean_power = socket_power / self.cores
+        all_mma_idle = all(not t.mma_busy for t in telemetry)
+        decision = self.governor.decide(
+            "socket", mean_power, mma_idle=all_mma_idle)
+        duties: Dict[int, float] = {}
+        powered: Dict[int, bool] = {}
+        for t in telemetry:
+            duties[t.core_id] = \
+                self._throttles[t.core_id].update(t.proxy_power_w)
+            gate = self._gates[t.core_id]
+            gate.tick(self.tick_cycles, t.mma_busy,
+                      wake_hint_seen=t.wake_hint_seen)
+            powered[t.core_id] = gate.powered
+        result = OccTickResult(
+            frequency_ghz=decision.boost_ghz,
+            wof=decision,
+            core_duties=duties,
+            socket_power_w=socket_power,
+            mma_powered=powered)
+        self.history.append(result)
+        return result

@@ -1,0 +1,124 @@
+"""Core throttling (Section IV-B).
+
+Two flavours, as shipped:
+
+* **fine-grained instruction throttling** — for fixed-frequency
+  operation (or at Fmin): an adaptive duty-cycle controller on dispatch
+  bandwidth keeps the core under its current/thermal limit, with the
+  power proxy closing the loop ("core power proxy feedback allows for
+  faster learning");
+* **coarse throttle points** — fast-engage controls at pipeline control
+  points that respond to droop events flagged by the DDS within a few
+  cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ModelError
+
+
+@dataclass
+class ThrottleState:
+    cycle: int
+    duty: float                  # fraction of dispatch slots allowed
+    power_estimate_w: float
+    limit_w: float
+
+
+class FineGrainThrottle:
+    """Adaptive duty-cycle controller driven by power-proxy feedback."""
+
+    def __init__(self, limit_w: float, *, min_duty: float = 0.125,
+                 step: float = 0.05):
+        if limit_w <= 0:
+            raise ModelError("limit must be positive")
+        if not 0 < min_duty <= 1:
+            raise ModelError("min_duty must be in (0, 1]")
+        self.limit_w = limit_w
+        self.min_duty = min_duty
+        self.step = step
+        self.duty = 1.0
+        self.history: List[ThrottleState] = []
+        self._cycle = 0
+
+    def update(self, proxy_power_w: float) -> float:
+        """Feed one proxy reading; returns the new dispatch duty."""
+        self._cycle += 1
+        if proxy_power_w > self.limit_w:
+            overshoot = proxy_power_w / self.limit_w - 1.0
+            self.duty = max(self.min_duty,
+                            self.duty - self.step * (1 + 4 * overshoot))
+        elif proxy_power_w < 0.95 * self.limit_w:
+            self.duty = min(1.0, self.duty + self.step / 2)
+        self.history.append(ThrottleState(
+            cycle=self._cycle, duty=self.duty,
+            power_estimate_w=proxy_power_w, limit_w=self.limit_w))
+        return self.duty
+
+    def settle(self, open_loop_power_w: float, *,
+               iterations: int = 200) -> ThrottleState:
+        """Iterate to steady state against a workload whose unthrottled
+        power is ``open_loop_power_w`` (power scales ~ duty)."""
+        for _ in range(iterations):
+            self.update(open_loop_power_w * self.duty)
+        return self.history[-1]
+
+
+class CoarseThrottle:
+    """Fast-engage throttle tied to the droop sensor.
+
+    When engaged it blocks a large fraction of dispatch for a short
+    programmable window ("numerous control points in the core pipeline,
+    execution engines, and caches/queues"), then releases gradually to
+    avoid re-exciting the supply resonance.
+    """
+
+    def __init__(self, *, block_fraction: float = 0.75,
+                 hold_cycles: int = 16, release_cycles: int = 32):
+        if not 0 < block_fraction <= 1:
+            raise ModelError("block fraction must be in (0, 1]")
+        self.block_fraction = block_fraction
+        self.hold_cycles = hold_cycles
+        self.release_cycles = release_cycles
+        self._hold = 0
+        self._release = 0
+        self.engage_count = 0
+        self.throttled_cycles = 0
+
+    def tick(self, droop_flag: bool) -> float:
+        """Advance one cycle; returns allowed dispatch fraction."""
+        if droop_flag:
+            if self._hold == 0 and self._release == 0:
+                self.engage_count += 1
+            self._hold = self.hold_cycles
+            self._release = self.release_cycles
+        if self._hold > 0:
+            self._hold -= 1
+            self.throttled_cycles += 1
+            return 1.0 - self.block_fraction
+        if self._release > 0:
+            self._release -= 1
+            self.throttled_cycles += 1
+            ramp = 1.0 - self._release / self.release_cycles
+            return 1.0 - self.block_fraction * (1.0 - ramp)
+        return 1.0
+
+
+def run_throttled_current(currents_a, sensor, supply,
+                          throttle: CoarseThrottle = None):
+    """Closed loop: droop sensor drives the coarse throttle, which
+    scales the demanded current.  Returns (voltages, duties)."""
+    throttle = throttle or CoarseThrottle()
+    voltages: List[float] = []
+    duties: List[float] = []
+    flag = False
+    for current in currents_a:
+        duty = throttle.tick(flag)
+        v = supply.step(current * duty)
+        flag = sensor.sample(v)
+        voltages.append(v)
+        duties.append(duty)
+    return voltages, duties

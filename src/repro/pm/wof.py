@@ -1,0 +1,152 @@
+"""Workload Optimized Frequency (Section IV-A).
+
+WOF raises the operating frequency of workloads that draw less power
+than the thermal/voltage design points (TDP/RDP), deterministically:
+the boost is computed from the workload's **effective capacitance
+ratio** (its power at nominal V/f relative to the design-point
+workload), then fed through the V/f curve to find the highest frequency
+that stays inside the envelope.
+
+The MMA interaction is modeled too: when the MMA is idle it is power
+gated (its leakage returned to the budget), and architected hint
+instructions wake it ahead of use so the power-on latency stays off the
+critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import CoreConfig
+from ..errors import ModelError
+from ..power.scaling import VFCurve, VFPoint, dynamic_power_scale, \
+    frequency_at_power
+
+
+@dataclass
+class WofDesignPoint:
+    """Socket design constraints WOF must respect."""
+
+    tdp_core_w: float            # per-core share of the thermal budget
+    rdp_core_w: float            # voltage-regulation (current) limit
+    nominal_ghz: float = 4.0
+    curve: VFCurve = None
+
+    def __post_init__(self) -> None:
+        if self.tdp_core_w <= 0 or self.rdp_core_w <= 0:
+            raise ModelError("design-point budgets must be positive")
+        if self.curve is None:
+            self.curve = VFCurve(VFPoint(self.nominal_ghz, 1.0))
+
+    @property
+    def envelope_w(self) -> float:
+        return min(self.tdp_core_w, self.rdp_core_w)
+
+
+@dataclass
+class WofDecision:
+    """The frequency decision for one workload."""
+
+    workload: str
+    effective_cap_ratio: float
+    boost_ghz: float
+    nominal_ghz: float
+    mma_gated: bool
+    reclaimed_leakage_w: float
+
+    @property
+    def boost_ratio(self) -> float:
+        return self.boost_ghz / self.nominal_ghz
+
+
+class WofGovernor:
+    """Deterministic WOF: same workload + same sort -> same frequency."""
+
+    def __init__(self, config: CoreConfig, design: WofDesignPoint, *,
+                 reference_power_w: Optional[float] = None):
+        self.config = config
+        self.design = design
+        # power of the design-point (TDP-setting) workload at nominal
+        self.reference_power_w = reference_power_w or design.envelope_w
+
+    def effective_capacitance_ratio(self, workload_power_w: float) -> float:
+        """Workload power relative to the design-point workload at the
+        same V/f — the quantity APEX+Einspower feed into PFLY/CLY."""
+        if workload_power_w <= 0:
+            raise ModelError("workload power must be positive")
+        return workload_power_w / self.reference_power_w
+
+    def decide(self, workload: str, workload_power_w: float, *,
+               mma_idle: bool = False) -> WofDecision:
+        """Pick the WOF frequency for a characterized workload."""
+        reclaimed = 0.0
+        power = workload_power_w
+        if mma_idle and self.config.issue.mma_present:
+            # firmware power-gates the idle MMA and spends its leakage
+            reclaimed = self.config.power.mma_leakage_w
+            power = max(1e-6, power - reclaimed)
+        ratio = self.effective_capacitance_ratio(power)
+        headroom = self.design.envelope_w / max(power, 1e-9)
+        boost = frequency_at_power(self.design.curve,
+                                   self.design.nominal_ghz, headroom)
+        boost = max(boost, self.design.nominal_ghz * 0.5)
+        return WofDecision(
+            workload=workload,
+            effective_cap_ratio=ratio,
+            boost_ghz=boost,
+            nominal_ghz=self.design.nominal_ghz,
+            mma_gated=mma_idle and self.config.issue.mma_present,
+            reclaimed_leakage_w=reclaimed)
+
+    def power_at_boost(self, workload_power_w: float,
+                       decision: WofDecision) -> float:
+        """Workload power after the boost is applied (sanity: must stay
+        inside the envelope)."""
+        scale = dynamic_power_scale(self.design.curve,
+                                    self.design.nominal_ghz,
+                                    decision.boost_ghz)
+        base = workload_power_w - decision.reclaimed_leakage_w
+        return base * scale
+
+
+@dataclass
+class MMAPowerGate:
+    """Firmware policy for gating the idle MMA (Section IV-A).
+
+    "the firmware can select how long the MMA must be idle before
+    powering off"; hint instructions wake the unit proactively so the
+    wake latency is hidden.
+    """
+
+    idle_cycles_before_off: int = 5000
+    wake_latency_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        self._idle = 0
+        self._powered = True
+        self.gated_cycles = 0
+        self.exposed_wake_cycles = 0
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
+
+    def tick(self, cycles: int, mma_busy: bool, *,
+             wake_hint_seen: bool = False) -> None:
+        """Advance the policy by an execution window."""
+        if cycles <= 0:
+            raise ModelError("cycles must be positive")
+        if mma_busy:
+            if not self._powered:
+                # hint hides the wake; a cold start pays the latency
+                if not wake_hint_seen:
+                    self.exposed_wake_cycles += self.wake_latency_cycles
+                self._powered = True
+            self._idle = 0
+            return
+        self._idle += cycles
+        if self._powered and self._idle >= self.idle_cycles_before_off:
+            self._powered = False
+        if not self._powered:
+            self.gated_cycles += cycles

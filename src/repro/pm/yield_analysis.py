@@ -1,0 +1,188 @@
+"""PFLY / CLY analysis (Sections I, III-C, IV-A).
+
+The paper feeds absolute APEX power projections into **PFLY**
+(Power-Frequency Limited Yield) and **CLY** (Core Limited Yield)
+"for product offering consideration": given manufacturing variation in
+leakage and achievable frequency, what fraction of dies can be sold at
+a given (frequency, power, good-core-count) offering?
+
+The model:
+
+* per-die process variation draws a frequency capability factor and a
+  leakage factor from correlated lognormal-ish distributions (fast dies
+  leak more — the classic frequency/leakage correlation);
+* per-core defect/variation independently disables cores (CLY);
+* a die passes a (frequency, socket power) offering when enough cores
+  are functional and the socket power at that frequency fits the
+  envelope.
+
+Deterministic given the seed, like every sampler in this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..power.scaling import VFCurve, VFPoint
+
+
+@dataclass
+class ProcessVariation:
+    """Die-to-die and core-to-core variation parameters."""
+
+    frequency_sigma: float = 0.05       # die frequency capability spread
+    leakage_sigma: float = 0.30         # die leakage spread (lognormal)
+    freq_leak_correlation: float = 0.6  # fast dies leak more
+    core_defect_rate: float = 0.04      # probability a core is dead
+    cores_per_die: int = 16             # physical cores fabricated
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.core_defect_rate < 1.0:
+            raise ModelError("defect rate must be in [0, 1)")
+        if not -1.0 <= self.freq_leak_correlation <= 1.0:
+            raise ModelError("correlation must be in [-1, 1]")
+
+
+@dataclass
+class Offering:
+    """One product point: what the customer buys."""
+
+    name: str
+    frequency_ghz: float
+    good_cores: int                 # cores that must be functional
+    socket_power_budget_w: float
+
+
+@dataclass
+class DieSample:
+    """One simulated die."""
+
+    frequency_capability_ghz: float
+    leakage_scale: float
+    functional_cores: int
+
+
+@dataclass
+class YieldResult:
+    offering: Offering
+    yield_fraction: float
+    limited_by: Dict[str, float]    # loss attribution
+
+    @property
+    def loss_fraction(self) -> float:
+        return 1.0 - self.yield_fraction
+
+
+def sample_dies(variation: ProcessVariation, count: int, *,
+                nominal_ghz: float = 4.0, seed: int = 11,
+                ) -> List[DieSample]:
+    """Draw a population of dies under the variation model."""
+    if count <= 0:
+        raise ModelError("need a positive die count")
+    rng = np.random.default_rng(seed)
+    z_freq = rng.standard_normal(count)
+    z_ind = rng.standard_normal(count)
+    rho = variation.freq_leak_correlation
+    z_leak = rho * z_freq + np.sqrt(1 - rho * rho) * z_ind
+    freq = nominal_ghz * (1.0 + variation.frequency_sigma * z_freq)
+    leak = np.exp(variation.leakage_sigma * z_leak)
+    cores = rng.binomial(variation.cores_per_die,
+                         1.0 - variation.core_defect_rate, count)
+    return [DieSample(frequency_capability_ghz=float(f),
+                      leakage_scale=float(l),
+                      functional_cores=int(c))
+            for f, l, c in zip(freq, leak, cores)]
+
+
+class YieldAnalyzer:
+    """Evaluates offerings against a die population.
+
+    ``core_dynamic_w`` / ``core_leakage_w`` describe the per-core power
+    of the *target workload* at the nominal point — exactly the numbers
+    APEX + Einspower produce and the paper says feed "into PFLY and CLY
+    analysis for product offering consideration".
+    """
+
+    def __init__(self, *, core_dynamic_w: float, core_leakage_w: float,
+                 uncore_power_w: float = 50.0,
+                 nominal_ghz: float = 4.0,
+                 curve: VFCurve = None):
+        if core_dynamic_w <= 0 or core_leakage_w < 0:
+            raise ModelError("invalid core power decomposition")
+        self.core_dynamic_w = core_dynamic_w
+        self.core_leakage_w = core_leakage_w
+        self.uncore_power_w = uncore_power_w
+        self.nominal_ghz = nominal_ghz
+        self.curve = curve or VFCurve(VFPoint(nominal_ghz, 1.0))
+
+    def socket_power(self, die: DieSample, offering: Offering) -> float:
+        """Socket power of a die running the offering's configuration."""
+        v = self.curve.voltage_at(offering.frequency_ghz)
+        v0 = self.curve.voltage_at(self.nominal_ghz)
+        dyn_scale = (v / v0) ** 2 * (offering.frequency_ghz
+                                     / self.nominal_ghz)
+        leak_scale = (v / v0) ** 2 * die.leakage_scale
+        cores = offering.good_cores
+        return (cores * (self.core_dynamic_w * dyn_scale
+                         + self.core_leakage_w * leak_scale)
+                + self.uncore_power_w)
+
+    def evaluate(self, offering: Offering,
+                 dies: Sequence[DieSample]) -> YieldResult:
+        """PFLY + CLY for one offering over a die population."""
+        if not dies:
+            raise ModelError("need at least one die")
+        passed = 0
+        losses = {"frequency": 0, "cores": 0, "power": 0}
+        for die in dies:
+            if die.frequency_capability_ghz < offering.frequency_ghz:
+                losses["frequency"] += 1
+                continue
+            if die.functional_cores < offering.good_cores:
+                losses["cores"] += 1
+                continue
+            if self.socket_power(die, offering) \
+                    > offering.socket_power_budget_w:
+                losses["power"] += 1
+                continue
+            passed += 1
+        n = len(dies)
+        return YieldResult(
+            offering=offering,
+            yield_fraction=passed / n,
+            limited_by={k: v / n for k, v in losses.items()})
+
+    def offering_sweep(self, offerings: Sequence[Offering],
+                       dies: Sequence[DieSample]) -> List[YieldResult]:
+        return [self.evaluate(o, dies) for o in offerings]
+
+
+def find_max_frequency_offering(analyzer: YieldAnalyzer,
+                                dies: Sequence[DieSample], *,
+                                good_cores: int,
+                                socket_power_budget_w: float,
+                                min_yield: float = 0.8,
+                                step_ghz: float = 0.05) -> Offering:
+    """Highest-frequency offering that still meets the yield floor —
+    the pivot-point search behind product definition."""
+    if not 0 < min_yield <= 1:
+        raise ModelError("min_yield must be in (0, 1]")
+    best = None
+    freq = analyzer.curve.fmin_ghz
+    while freq <= analyzer.curve.fmax_ghz + 1e-9:
+        offering = Offering(
+            name=f"{good_cores}c@{freq:.2f}GHz",
+            frequency_ghz=round(freq, 4),
+            good_cores=good_cores,
+            socket_power_budget_w=socket_power_budget_w)
+        result = analyzer.evaluate(offering, dies)
+        if result.yield_fraction >= min_yield:
+            best = offering
+        freq += step_ghz
+    if best is None:
+        raise ModelError("no offering meets the yield floor")
+    return best

@@ -1,0 +1,39 @@
+"""Power modeling stack: Einspower reports, Powerminer switching stats,
+APEX accelerated extraction, M1-linked counter models, the hardware
+power proxy, the pipeline-depth study and V/f scaling."""
+
+from .components import COMPONENT_NAMES, COMPONENTS, Component
+from .einspower import ComponentPower, EinspowerModel, PowerReport
+from .powerminer import Powerminer, PowerminerReport, UnitSwitchingStats
+from .lfsr import LfsrBank, LfsrCounter, LfsrDecoder
+from .apex import (Apex, ApexInterval, ApexRun, apex_power_from_activity,
+                   compare_core_vs_chip, detailed_reference_power)
+from .models import (BottomUpModel, TopDownModel, TrainingSet,
+                     build_training_set, compare_top_down_bottom_up,
+                     fit_bottom_up, fit_top_down, input_sweep)
+from .proxy import (DesignPoint, PowerProxyDesigner, ProxyDesign,
+                    candidate_counter_names)
+from .pipeline_depth import (BASELINE_FO4, DepthPerformanceModel,
+                             DepthPoint, DepthPowerModel, analyze_depth,
+                             depth_study, optimal_fo4)
+from .scaling import (VFCurve, VFPoint, apply_technology_scaling,
+                      dynamic_power_scale, frequency_at_power,
+                      leakage_power_scale)
+
+__all__ = [
+    "COMPONENT_NAMES", "COMPONENTS", "Component",
+    "ComponentPower", "EinspowerModel", "PowerReport",
+    "Powerminer", "PowerminerReport", "UnitSwitchingStats",
+    "LfsrBank", "LfsrCounter", "LfsrDecoder",
+    "Apex", "ApexInterval", "ApexRun", "apex_power_from_activity",
+    "compare_core_vs_chip", "detailed_reference_power",
+    "BottomUpModel", "TopDownModel", "TrainingSet",
+    "build_training_set", "compare_top_down_bottom_up",
+    "fit_bottom_up", "fit_top_down", "input_sweep",
+    "DesignPoint", "PowerProxyDesigner", "ProxyDesign",
+    "candidate_counter_names",
+    "BASELINE_FO4", "DepthPerformanceModel", "DepthPoint",
+    "DepthPowerModel", "analyze_depth", "depth_study", "optimal_fo4",
+    "VFCurve", "VFPoint", "apply_technology_scaling",
+    "dynamic_power_scale", "frequency_at_power", "leakage_power_scale",
+]

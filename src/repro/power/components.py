@@ -1,0 +1,132 @@
+"""The 39-component power decomposition of the modeled core.
+
+Section III-D: "39 components were defined and a counter-based power
+model was implemented for each of them".  This module is the canonical
+inventory: each component belongs to a clock-gating unit (one of
+:data:`repro.core.activity.UNIT_NAMES`), has a power category in the
+Einspower taxonomy (latch-clock is reported separately; the dynamic
+categories here are ``logic`` data switching, ``array`` and register
+file ``rf``), owns a set of activity events, and takes a share of its
+unit's latch/clock power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.activity import EVENT_NAMES, UNIT_NAMES
+
+CATEGORIES = ("logic", "array", "rf", "clock")
+
+
+@dataclass(frozen=True)
+class Component:
+    """One macro-level power component."""
+
+    name: str
+    unit: str                    # clock-gating domain
+    category: str
+    events: Tuple[str, ...]      # activity events charged here
+    clock_share: float           # share of the unit's clock power
+
+
+_RAW_COMPONENTS: List[Component] = [
+    # --- instruction fetch ------------------------------------------------
+    Component("icache", "ifu", "array",
+              ("icache_access", "icache_miss"), 0.40),
+    Component("fetch_pipe", "ifu", "logic", ("fetch_instr",), 0.30),
+    Component("predecode", "ifu", "logic", ("predecode_instr",), 0.15),
+    Component("ibuffer", "ifu", "array", ("ibuffer_write",), 0.15),
+    Component("bp_direction", "branch", "array", ("bp_dir_lookup",), 0.45),
+    Component("bp_target", "branch", "array", ("bp_tgt_lookup",), 0.30),
+    Component("branch_exec", "branch", "logic",
+              ("issue_branch", "bp_mispredict"), 0.25),
+    # --- decode/dispatch --------------------------------------------------
+    Component("decode", "decode", "logic", ("decode_instr",), 0.70),
+    Component("fusion_logic", "decode", "logic", ("fusion_pair",), 0.30),
+    Component("dispatch", "dispatch", "logic", ("dispatch_iop",), 0.60),
+    Component("rename", "dispatch", "array", ("rename_write",), 0.40),
+    Component("issue_queue", "issueq", "array",
+              ("issueq_write", "issueq_wakeup"), 1.00),
+    Component("completion_table", "completion", "array",
+              ("complete_instr",), 0.60),
+    Component("flush_recovery", "completion", "logic",
+              ("flush_instr", "flush_event"), 0.40),
+    # --- register files and execution -------------------------------------
+    Component("regfile", "regfile", "rf", ("rf_read", "rf_write"), 1.00),
+    Component("fx_alu", "fx", "logic", ("issue_fx",), 1.00),
+    Component("fx_muldiv", "fx_muldiv", "logic",
+              ("issue_fx_muldiv",), 1.00),
+    Component("cr_exec", "cr", "logic", ("issue_cr",), 1.00),
+    Component("fp_scalar", "fp", "logic", ("issue_fp",), 1.00),
+    Component("vsu_fma", "vsu", "logic", ("issue_vsx",), 1.00),
+    Component("mma_grid", "mma", "logic", ("issue_mma",), 0.70),
+    Component("mma_acc", "mma", "rf",
+              ("mma_acc_access", "mma_move"), 0.30),
+    # --- load/store -------------------------------------------------------
+    Component("lsu_agen", "lsu", "logic", ("agen",), 0.30),
+    Component("load_queue", "lsu", "array",
+              ("load_issue", "loadq_write"), 0.25),
+    Component("store_queue", "lsu", "array",
+              ("store_issue", "storeq_write", "storeq_merge"), 0.25),
+    Component("lmq", "lsu", "array", ("lmq_alloc",), 0.20),
+    Component("l1d_array", "l1d", "array", ("l1d_access",), 0.70),
+    Component("l1d_ctl", "l1d", "logic", ("l1d_miss",), 0.30),
+    # --- translation ------------------------------------------------------
+    Component("erat", "erat_mmu", "array",
+              ("erat_lookup", "erat_miss"), 0.40),
+    Component("tlb", "erat_mmu", "array",
+              ("tlb_lookup", "tlb_miss"), 0.40),
+    Component("mmu_walk", "erat_mmu", "logic", ("tablewalk",), 0.20),
+    Component("prefetch_engine", "prefetch", "logic",
+              ("prefetch_issued", "prefetch_useful"), 1.00),
+    # --- nest-side caches -------------------------------------------------
+    Component("l2_array", "l2", "array", ("l2_access",), 0.70),
+    Component("l2_ctl", "l2", "logic", ("l2_miss",), 0.30),
+    Component("l3_array", "l3", "array", ("l3_access",), 0.60),
+    Component("l3_ctl", "l3", "logic",
+              ("l3_miss", "mem_access"), 0.40),
+    # --- pervasive (clock-only components) --------------------------------
+    Component("pervasive_clock", "issueq", "clock", (), 0.0),
+    Component("thread_mgmt", "dispatch", "clock", (), 0.0),
+    Component("core_misc", "completion", "clock", (), 0.0),
+]
+
+COMPONENTS: Tuple[Component, ...] = tuple(_RAW_COMPONENTS)
+COMPONENT_NAMES: Tuple[str, ...] = tuple(c.name for c in COMPONENTS)
+
+# Event -> component lookup (each event charged to exactly one component).
+EVENT_COMPONENT: Dict[str, str] = {}
+for _comp in COMPONENTS:
+    for _ev in _comp.events:
+        if _ev in EVENT_COMPONENT:
+            raise RuntimeError(
+                f"event {_ev} assigned to two components")
+        EVENT_COMPONENT[_ev] = _comp.name
+
+
+def validate_inventory() -> None:
+    """Sanity-check the component table; raises on inconsistency."""
+    if len(COMPONENTS) != 39:
+        raise RuntimeError(
+            f"expected 39 components, found {len(COMPONENTS)}")
+    for comp in COMPONENTS:
+        if comp.unit not in UNIT_NAMES:
+            raise RuntimeError(f"{comp.name}: unknown unit {comp.unit}")
+        if comp.category not in CATEGORIES:
+            raise RuntimeError(
+                f"{comp.name}: unknown category {comp.category}")
+        for ev in comp.events:
+            if ev not in EVENT_NAMES:
+                raise RuntimeError(f"{comp.name}: unknown event {ev}")
+    uncharged = set(EVENT_NAMES) - set(EVENT_COMPONENT)
+    if uncharged:
+        raise RuntimeError(f"events charged nowhere: {sorted(uncharged)}")
+
+
+def components_of_unit(unit: str) -> List[Component]:
+    return [c for c in COMPONENTS if c.unit == unit]
+
+
+validate_inventory()

@@ -1,0 +1,148 @@
+"""Einspower-style detailed power reports.
+
+The reference power model of the methodology (Sections II-A, III-B):
+given a configuration's coefficients and one run's activity, produce a
+per-component report separating **latch-clock**, **logic data
+switching**, **array**, and **register file** power, plus leakage —
+exactly the decomposition the paper says the pipeline-depth study and
+the counter-model fitting consumed.
+
+Power composition per component::
+
+    clock_w  = unit_clock_w * clock_share * enable_fraction
+    enable_fraction = floor + (1 - floor) * unit_utilization
+    event_w  = sum(count[e] * pJ[e]) / runtime_ns / 1000
+    ghost_w  = ghost_factor * event_w          (arrays and RFs only)
+
+"Active power" follows the paper's definition: the workload-dependent
+part, i.e. total minus leakage minus active-idle (the clock power at the
+gating floor with zero utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..core.activity import ActivityCounters
+from ..core.config import CoreConfig
+from ..errors import ModelError
+from .components import COMPONENTS, Component
+
+
+@dataclass
+class ComponentPower:
+    """Power of one component, split by category."""
+
+    name: str
+    category: str
+    clock_w: float
+    switch_w: float           # event-driven (logic/array/rf) switching
+    ghost_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.clock_w + self.switch_w + self.ghost_w
+
+
+@dataclass
+class PowerReport:
+    """Full-core power report for one run."""
+
+    config_name: str
+    components: Dict[str, ComponentPower]
+    leakage_w: float
+    mma_leakage_w: float
+    idle_clock_w: float        # clock power at gating floor, zero activity
+    cycles: int
+    frequency_ghz: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return sum(c.total_w for c in self.components.values())
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w + self.mma_leakage_w
+
+    @property
+    def active_w(self) -> float:
+        """Workload-dependent power: total minus leakage and active-idle."""
+        return max(0.0, self.total_w - self.leakage_w
+                   - self.mma_leakage_w - self.idle_clock_w)
+
+    @property
+    def clock_w(self) -> float:
+        return sum(c.clock_w for c in self.components.values())
+
+    def by_category(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"clock": 0.0, "logic": 0.0,
+                                 "array": 0.0, "rf": 0.0}
+        for comp in self.components.values():
+            out["clock"] += comp.clock_w
+            if comp.category in out:
+                out[comp.category] += comp.switch_w + comp.ghost_w
+        return out
+
+    def by_unit(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        by_name = {c.name: c for c in COMPONENTS}
+        for name, comp in self.components.items():
+            unit = by_name[name].unit
+            out[unit] = out.get(unit, 0.0) + comp.total_w
+        return out
+
+
+class EinspowerModel:
+    """The detailed (reference) power model for one core configuration."""
+
+    def __init__(self, config: CoreConfig):
+        self.config = config
+
+    def report(self, activity: ActivityCounters, *,
+               mma_powered: bool = True) -> PowerReport:
+        if activity.cycles <= 0:
+            raise ModelError("activity has no cycles; run a simulation")
+        pcfg = self.config.power
+        runtime_ns = activity.cycles / pcfg.frequency_ghz
+        floor = pcfg.gating_floor
+
+        comps: Dict[str, ComponentPower] = {}
+        idle_clock_w = 0.0
+        for comp in COMPONENTS:
+            unit_w = pcfg.unit_clock_w.get(comp.unit, 0.0)
+            share_w = unit_w * comp.clock_share
+            util = activity.utilization(comp.unit)
+            if comp.unit == "mma" and not mma_powered:
+                clock_w = 0.0
+            else:
+                clock_w = share_w * (floor + (1.0 - floor) * util)
+                idle_clock_w += share_w * floor
+            event_pj = sum(
+                activity.events[ev] * pcfg.energy.energy_pj(ev)
+                for ev in comp.events)
+            switch_w = event_pj / runtime_ns / 1000.0
+            ghost_w = 0.0
+            if comp.category in ("array", "rf"):
+                ghost_w = pcfg.ghost_factor * switch_w
+            comps[comp.name] = ComponentPower(
+                name=comp.name, category=comp.category,
+                clock_w=clock_w, switch_w=switch_w, ghost_w=ghost_w)
+
+        mma_leak = pcfg.mma_leakage_w if (
+            self.config.issue.mma_present and mma_powered) else 0.0
+        return PowerReport(
+            config_name=self.config.name,
+            components=comps,
+            leakage_w=pcfg.leakage_w,
+            mma_leakage_w=mma_leak,
+            idle_clock_w=idle_clock_w,
+            cycles=activity.cycles,
+            frequency_ghz=pcfg.frequency_ghz)
+
+    def component_power_vector(
+            self, activity: ActivityCounters) -> Mapping[str, float]:
+        """Per-component totals — the training target of the bottom-up
+        counter models (Section III-D)."""
+        report = self.report(activity)
+        return {name: cp.total_w for name, cp in report.components.items()}

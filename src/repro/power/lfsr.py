@@ -1,0 +1,117 @@
+"""LFSR event counters, as instrumented into the RTL for APEX.
+
+Section III-C: "the RTL is instrumented with edge- and level-triggered
+LFSR counters for the subset of signals used by Einspower for its power
+calculations."  LFSRs are used in hardware because a maximal-length
+linear feedback shift register increments with a single XOR per cycle
+(far cheaper than a binary adder); the count is recovered by inverting
+the LFSR sequence.
+
+We implement a real Fibonacci LFSR with maximal-length taps plus the
+decode table that converts an LFSR state back to an event count — the
+same extract step APEX's batch routine performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ModelError
+
+# maximal-length tap masks (XOR of tapped bits feeds bit 0)
+_TAPS = {
+    8: 0b10111000,
+    16: 0b1101000000001000,
+    24: 0b111000010000000000000000,
+    32: 0b10000000001000000000000000000011,
+}
+
+
+class LfsrCounter:
+    """A width-bit maximal-length LFSR used as an event counter."""
+
+    def __init__(self, width: int = 16):
+        if width not in _TAPS:
+            raise ModelError(f"unsupported LFSR width: {width}")
+        self.width = width
+        self._taps = _TAPS[width]
+        self._mask = (1 << width) - 1
+        self._state = 1             # non-zero seed
+        self.saturated = False
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def tick(self, times: int = 1) -> None:
+        """Advance the LFSR by ``times`` events."""
+        state = self._state
+        for _ in range(times):
+            feedback = bin(state & self._taps).count("1") & 1
+            state = ((state << 1) | feedback) & self._mask
+            if state == 1:
+                # wrapped the maximal sequence: count is ambiguous
+                self.saturated = True
+        self._state = state
+
+    def reset(self) -> None:
+        self._state = 1
+        self.saturated = False
+
+
+class LfsrDecoder:
+    """Inverts LFSR states back to event counts (the extract step)."""
+
+    def __init__(self, width: int = 16):
+        if width > 16:
+            raise ModelError(
+                "decode tables above 16 bits are impractical in memory; "
+                "use a 16-bit counter with saturation instead")
+        self._table: Dict[int, int] = {}
+        lfsr = LfsrCounter(width)
+        period = (1 << width) - 1
+        for count in range(period):
+            self._table[lfsr.state] = count
+            lfsr.tick()
+        self.period = period
+
+    def decode(self, state: int) -> int:
+        if state not in self._table:
+            raise ModelError(f"state {state:#x} is not in the sequence")
+        return self._table[state]
+
+
+class LfsrBank:
+    """A bank of named LFSR counters with batch extract.
+
+    APEX samples "at configurable intervals, or at specific simulation
+    events"; ``extract`` reads and resets every counter, returning the
+    per-signal counts since the previous extraction.
+    """
+
+    def __init__(self, signal_names: List[str], width: int = 16):
+        if not signal_names:
+            raise ModelError("need at least one signal")
+        self.width = width
+        self._counters = {name: LfsrCounter(width)
+                          for name in signal_names}
+        self._decoder = LfsrDecoder(width)
+
+    def record(self, counts: Dict[str, int]) -> None:
+        """Accumulate switching events into the counters."""
+        for name, n in counts.items():
+            if name not in self._counters:
+                raise ModelError(f"unknown signal {name!r}")
+            if n:
+                self._counters[name].tick(n)
+
+    def extract(self) -> Dict[str, int]:
+        """Batch-read all counters (decode + reset)."""
+        out: Dict[str, int] = {}
+        for name, counter in self._counters.items():
+            if counter.saturated:
+                out[name] = self._decoder.period      # clipped
+            else:
+                out[name] = self._decoder.decode(counter.state)
+            counter.reset()
+        return out

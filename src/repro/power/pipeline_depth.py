@@ -1,0 +1,166 @@
+"""Optimal pipeline depth analysis (Section II-A, Fig. 2).
+
+Re-implements the Srinivasan/Zyuban-style study the POWER10 concept
+phase ran on the POWER9 M0/M1 models: for a range of pipeline depths
+(expressed as FO4 per stage) and core power budgets, find the
+power-limited frequency and the resulting throughput (BIPS), normalized
+to the baseline optimum.  The paper's result: the optimum sits at
+~27 FO4 and is stable across the power targets of interest (0.5x-1.0x
+of the POWER9 baseline power).
+
+Model (after [42], [52] and the Einspower-decomposed power scaling the
+paper describes):
+
+* frequency  f(FO4) = 1 / (FO4 + latch_overhead_fo4), in units where
+  the baseline depth gives the baseline frequency;
+* performance: time per instruction = useful work + hazard stalls.
+  Deeper pipes (small FO4) raise the cycle count of each hazard
+  (branch redirects, load-use bubbles) proportionally to depth;
+* power components scale individually: latch-clock power grows with
+  pipeline depth (more latches, higher f), logic switching grows with
+  f, arrays/RF grow weakly with depth, leakage is constant;
+* power-limited frequency: if power at f exceeds the budget, voltage
+  and frequency scale down together (P ~ V^2 f, f ~ V) until it fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ModelError
+
+LATCH_OVERHEAD_FO4 = 3.0      # latch insertion + skew per stage
+BASELINE_FO4 = 27.0           # POWER9-class design point
+
+
+@dataclass
+class DepthPowerModel:
+    """Power decomposition at the baseline depth (arbitrary watts).
+
+    The four buckets mirror the paper's "detailed Einspower reports
+    separating out latch-clock, logic data-switching, array and register
+    file components", which were "individually scaled according to
+    functions of the new target design pipeline depth".
+    """
+
+    latch_clock_w: float = 1.9
+    logic_switch_w: float = 1.2
+    array_w: float = 0.7
+    regfile_w: float = 0.4
+    leakage_w: float = 0.6
+
+    def power_at(self, fo4: float, frequency_ratio: float,
+                 voltage_ratio: float = 1.0) -> float:
+        """Total power at a depth/frequency/voltage point."""
+        if fo4 <= 0:
+            raise ModelError("FO4 must be positive")
+        depth_ratio = (BASELINE_FO4 + LATCH_OVERHEAD_FO4) \
+            / (fo4 + LATCH_OVERHEAD_FO4)
+        # latch count grows superlinearly with depth (extra staging,
+        # more hazard-tracking state)
+        latch = self.latch_clock_w * depth_ratio ** 1.4
+        logic = self.logic_switch_w
+        array = self.array_w * depth_ratio ** 0.3
+        regfile = self.regfile_w * depth_ratio ** 0.5
+        dynamic = (latch + logic + array + regfile) * frequency_ratio
+        dynamic *= voltage_ratio ** 2
+        leakage = self.leakage_w * voltage_ratio
+        return dynamic + leakage
+
+
+@dataclass
+class DepthPerformanceModel:
+    """Hazard-based time-per-instruction model.
+
+    ``base_cpi`` is the hazard-free cycles per instruction at the
+    baseline depth; hazards contribute stall cycles proportional to the
+    number of stages they span.
+    """
+
+    base_cpi: float = 0.50
+    branch_hazard_per_instr: float = 0.015   # redirects per instruction
+    branch_stages_at_baseline: float = 14.0
+    load_hazard_per_instr: float = 0.08      # load-use stalls
+    load_stages_at_baseline: float = 3.0
+
+    def bips(self, fo4: float, frequency_ratio: float) -> float:
+        depth_ratio = (BASELINE_FO4 + LATCH_OVERHEAD_FO4) \
+            / (fo4 + LATCH_OVERHEAD_FO4)
+        cpi = (self.base_cpi
+               + self.branch_hazard_per_instr
+               * self.branch_stages_at_baseline * depth_ratio
+               + self.load_hazard_per_instr
+               * self.load_stages_at_baseline * depth_ratio)
+        return frequency_ratio / cpi
+
+
+@dataclass
+class DepthPoint:
+    fo4: float
+    frequency_ratio: float      # after power limiting
+    voltage_ratio: float
+    bips: float
+    power_w: float
+
+
+def analyze_depth(fo4_values: Sequence[float],
+                  power_budget_ratio: float, *,
+                  power_model: DepthPowerModel = None,
+                  perf_model: DepthPerformanceModel = None) -> List[DepthPoint]:
+    """Sweep pipeline depth under one power budget (fraction of the
+    baseline power); returns the power-limited operating points."""
+    if power_budget_ratio <= 0:
+        raise ModelError("power budget must be positive")
+    power_model = power_model or DepthPowerModel()
+    perf_model = perf_model or DepthPerformanceModel()
+    baseline_power = power_model.power_at(BASELINE_FO4, 1.0)
+    budget = baseline_power * power_budget_ratio
+    points: List[DepthPoint] = []
+    for fo4 in fo4_values:
+        if fo4 <= 0:
+            raise ModelError("FO4 must be positive")
+        raw_freq = (BASELINE_FO4 + LATCH_OVERHEAD_FO4) \
+            / (fo4 + LATCH_OVERHEAD_FO4)
+        # power-limited V/f scaling: f ~ V, dynamic ~ V^2 f ~ f^3
+        lo, hi = 0.2, 1.0
+        for _ in range(48):
+            mid = (lo + hi) / 2
+            p = power_model.power_at(fo4, raw_freq * mid, mid)
+            if p > budget:
+                hi = mid
+            else:
+                lo = mid
+        vf = lo
+        freq = raw_freq * vf
+        power = power_model.power_at(fo4, freq, vf)
+        points.append(DepthPoint(
+            fo4=fo4, frequency_ratio=freq, voltage_ratio=vf,
+            bips=perf_model.bips(fo4, freq), power_w=power))
+    return points
+
+
+def optimal_fo4(points: Sequence[DepthPoint]) -> float:
+    """Depth with maximum throughput."""
+    if not points:
+        raise ModelError("no points to optimize over")
+    return max(points, key=lambda p: p.bips).fo4
+
+
+def depth_study(fo4_values: Sequence[float] = tuple(range(9, 46, 2)),
+                budgets: Sequence[float] = (0.5, 0.7, 0.85, 1.0),
+                ) -> Dict[float, List[DepthPoint]]:
+    """The full Fig. 2 sweep: one BIPS-vs-FO4 curve per power target,
+    normalized to the baseline optimum of the 1.0x budget curve."""
+    curves = {b: analyze_depth(fo4_values, b) for b in budgets}
+    reference = None
+    for point in curves[max(budgets)]:
+        if abs(point.fo4 - BASELINE_FO4) < 1.01:
+            reference = point.bips
+    if not reference:
+        reference = max(p.bips for p in curves[max(budgets)])
+    for pts in curves.values():
+        for p in pts:
+            p.bips /= reference
+    return curves

@@ -1,0 +1,106 @@
+"""Voltage/frequency/technology scaling helpers.
+
+Supports the WOF/PFLY analyses: converting an effective-capacitance
+ratio into frequency headroom under a power envelope, and the
+14nm-to-7nm technology translation the paper explicitly excludes from
+its iso-V/f headline numbers (provided here so socket studies can apply
+it separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+
+@dataclass
+class VFPoint:
+    """One voltage/frequency operating point."""
+
+    frequency_ghz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.voltage_v <= 0:
+            raise ModelError("frequency and voltage must be positive")
+
+
+@dataclass
+class VFCurve:
+    """Linear V-f curve around a nominal point: V = v0 + k (f - f0).
+
+    Good enough in the WOF operating window; the paper's firmware works
+    with tabulated curves of the same shape.
+    """
+
+    nominal: VFPoint
+    volts_per_ghz: float = 0.075
+    fmin_ghz: float = 2.0
+    fmax_ghz: float = 4.6
+
+    def voltage_at(self, frequency_ghz: float) -> float:
+        if not self.fmin_ghz <= frequency_ghz <= self.fmax_ghz:
+            raise ModelError(
+                f"{frequency_ghz} GHz outside [{self.fmin_ghz}, "
+                f"{self.fmax_ghz}]")
+        return self.nominal.voltage_v + self.volts_per_ghz * (
+            frequency_ghz - self.nominal.frequency_ghz)
+
+
+def dynamic_power_scale(curve: VFCurve, from_ghz: float,
+                        to_ghz: float) -> float:
+    """Dynamic power ratio moving along the V-f curve (C V^2 f)."""
+    v_from = curve.voltage_at(from_ghz)
+    v_to = curve.voltage_at(to_ghz)
+    return (v_to / v_from) ** 2 * (to_ghz / from_ghz)
+
+
+def leakage_power_scale(curve: VFCurve, from_ghz: float,
+                        to_ghz: float) -> float:
+    """Leakage ratio (~V^2 in the operating window)."""
+    v_from = curve.voltage_at(from_ghz)
+    v_to = curve.voltage_at(to_ghz)
+    return (v_to / v_from) ** 2
+
+
+def frequency_at_power(curve: VFCurve, base_ghz: float,
+                       power_ratio_budget: float, *,
+                       tolerance: float = 1e-4) -> float:
+    """Highest frequency whose dynamic power stays within
+    ``power_ratio_budget`` x the power at ``base_ghz`` (the WOF boost
+    search)."""
+    if power_ratio_budget <= 0:
+        raise ModelError("power budget ratio must be positive")
+    lo, hi = curve.fmin_ghz, curve.fmax_ghz
+    if dynamic_power_scale(curve, base_ghz, hi) <= power_ratio_budget:
+        return hi
+    if dynamic_power_scale(curve, base_ghz, lo) > power_ratio_budget:
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if dynamic_power_scale(curve, base_ghz, mid) \
+                <= power_ratio_budget:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+# Technology translation 14nm (GlobalFoundries HP) -> 7nm (Samsung HP).
+# The paper's 2.6x core figure is iso-voltage/frequency and excludes
+# these; socket-level TCO studies may apply them on top.
+TECH_14_TO_7_CAP_SCALE = 0.62       # switched capacitance per function
+TECH_14_TO_7_LEAKAGE_SCALE = 0.70
+TECH_14_TO_7_AREA_SCALE = 0.45
+
+
+def apply_technology_scaling(power_w: float, *,
+                             leakage_fraction: float = 0.15) -> float:
+    """Translate a 14nm power number to the 7nm node at iso-V/f."""
+    if not 0.0 <= leakage_fraction <= 1.0:
+        raise ModelError("leakage fraction must be in [0, 1]")
+    dynamic = power_w * (1.0 - leakage_fraction)
+    leakage = power_w * leakage_fraction
+    return (dynamic * TECH_14_TO_7_CAP_SCALE
+            + leakage * TECH_14_TO_7_LEAKAGE_SCALE)

@@ -1,0 +1,12 @@
+"""Reliability (RAS) analysis: latch population modeling and the
+SERMiner derating methodology."""
+
+from .latches import LatchGroup, LatchPopulation, build_population
+from .serminer import (DeratingResult, SERMiner, compare_generations,
+                       protection_candidates)
+
+__all__ = [
+    "LatchGroup", "LatchPopulation", "build_population",
+    "DeratingResult", "SERMiner", "compare_generations",
+    "protection_candidates",
+]

@@ -1,0 +1,18 @@
+"""Representative-trace generation: BBVs + SimPoint (baseline) and the
+paper's counter-histogram Tracepoints methodology."""
+
+from .bbv import basic_block_vectors, project_bbvs, split_intervals
+from .simpoint import (Simpoint, SimpointResult, kmeans, pick_simpoints,
+                       simpoint_suite)
+from .counters import (COUNTER_NAMES, Epoch, aggregate_counters,
+                       collect_epochs)
+from .tracepoints import (TracepointResult, build_tracepoint,
+                          validate_against_reference)
+
+__all__ = [
+    "basic_block_vectors", "project_bbvs", "split_intervals",
+    "Simpoint", "SimpointResult", "kmeans", "pick_simpoints",
+    "simpoint_suite",
+    "COUNTER_NAMES", "Epoch", "aggregate_counters", "collect_epochs",
+    "TracepointResult", "build_tracepoint", "validate_against_reference",
+]

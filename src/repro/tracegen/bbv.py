@@ -1,0 +1,71 @@
+"""Basic Block Vectors — the SimPoint feature space (Section III-A).
+
+A BBV counts, per fixed-size execution interval, how many instructions
+were executed in each static basic block.  Blocks are delimited by
+branch instructions (a branch ends a block; its target starts one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+def split_intervals(trace, interval: int) -> List[List]:
+    if interval <= 0:
+        raise TraceError("interval must be positive")
+    instrs = trace.instructions
+    return [instrs[i:i + interval]
+            for i in range(0, len(instrs), interval)
+            if len(instrs[i:i + interval]) >= interval // 2]
+
+
+def basic_block_vectors(trace, *, interval: int = 1000,
+                        ) -> Tuple[np.ndarray, List[List]]:
+    """Compute normalized BBVs; returns (matrix, intervals).
+
+    Block identity is the PC of the block's leader (the instruction
+    after the previous branch).
+    """
+    intervals = split_intervals(trace, interval)
+    if not intervals:
+        raise TraceError("trace too short for the chosen interval")
+    block_ids: Dict[int, int] = {}
+    rows: List[Dict[int, int]] = []
+    for chunk in intervals:
+        counts: Dict[int, int] = {}
+        leader = chunk[0].pc
+        block_len = 0
+        for instr in chunk:
+            block_len += 1
+            if instr.iclass.is_branch:
+                bid = block_ids.setdefault(leader, len(block_ids))
+                counts[bid] = counts.get(bid, 0) + block_len
+                leader = instr.target if instr.taken else instr.pc + 4
+                block_len = 0
+        if block_len:
+            bid = block_ids.setdefault(leader, len(block_ids))
+            counts[bid] = counts.get(bid, 0) + block_len
+        rows.append(counts)
+    matrix = np.zeros((len(rows), len(block_ids)))
+    for i, counts in enumerate(rows):
+        for bid, count in counts.items():
+            matrix[i, bid] = count
+        total = matrix[i].sum()
+        if total > 0:
+            matrix[i] /= total
+    return matrix, intervals
+
+
+def project_bbvs(matrix: np.ndarray, dimensions: int = 15,
+                 seed: int = 42) -> np.ndarray:
+    """Random projection to a low dimension (the SimPoint recipe)."""
+    if matrix.shape[1] <= dimensions:
+        return matrix.copy()
+    rng = np.random.default_rng(seed)
+    projection = rng.standard_normal((matrix.shape[1], dimensions))
+    projection /= np.sqrt(dimensions)
+    return matrix @ projection

@@ -1,0 +1,27 @@
+"""Workload generation: traces, synthetic mixes, SPECint profiles,
+Chopstix proxy extraction, GEMM kernels, AI models and stressmarks."""
+
+from .trace import Trace, merge_smt
+from .synthetic import (WorkloadSpec, derating_suites, generate,
+                        microbenchmark)
+from .spec import (PROXY_COVERAGE, SPECINT_NAMES, SPECINT_PROFILES,
+                   specint_proxies, specint_suite)
+from .chopstix import extract_proxies, profile_functions, suite_coverage
+from .gemm import (MmaKernelShape, VsuKernelShape, dgemm_mma_trace,
+                   dgemm_vsu_trace, gemm_instruction_estimate)
+from .kernels import daxpy_trace, pointer_chase_trace, stream_triad_trace
+from .stressmark import max_power_stressmark
+from .io import load_trace, save_trace
+
+__all__ = [
+    "Trace", "merge_smt",
+    "WorkloadSpec", "derating_suites", "generate", "microbenchmark",
+    "PROXY_COVERAGE", "SPECINT_NAMES", "SPECINT_PROFILES",
+    "specint_proxies", "specint_suite",
+    "extract_proxies", "profile_functions", "suite_coverage",
+    "MmaKernelShape", "VsuKernelShape", "dgemm_mma_trace",
+    "dgemm_vsu_trace", "gemm_instruction_estimate",
+    "daxpy_trace", "pointer_chase_trace", "stream_triad_trace",
+    "max_power_stressmark",
+    "load_trace", "save_trace",
+]

@@ -1,0 +1,342 @@
+"""Synthetic workload generation.
+
+Two roles, mirroring the paper's workload machinery:
+
+* :class:`WorkloadSpec` + :func:`generate` — a parametric trace
+  generator (instruction mix, code/data footprints, branch behaviour,
+  dependency distances).  The SPECint benchmark profiles in
+  :mod:`repro.workloads.spec` are instances of this.
+* :func:`microbenchmark` — Microprobe-style directed testcases
+  (Section III-E evaluates derating on ``st/smt2/smt4 x dd0/dd1 x
+  zero/random`` suites): fixed dependency distance (DD), chosen data
+  values, single instruction class emphasis.
+
+Generation is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.isa import (GPR_BASE, Instruction, InstrClass, NUM_GPRS,
+                        VSR_BASE)
+from ..errors import TraceError
+from .trace import Trace, merge_smt
+
+# Default instruction mix loosely matching SPECint averages.
+DEFAULT_MIX: Dict[InstrClass, float] = {
+    InstrClass.FX: 0.42,
+    InstrClass.FX_MULDIV: 0.02,
+    InstrClass.LOAD: 0.25,
+    InstrClass.STORE: 0.12,
+    InstrClass.BRANCH: 0.15,
+    InstrClass.BRANCH_IND: 0.01,
+    InstrClass.CR: 0.02,
+    InstrClass.FP: 0.01,
+}
+
+
+@dataclass
+class WorkloadSpec:
+    """Parametric description of a synthetic workload."""
+
+    name: str
+    mix: Dict[InstrClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_MIX))
+    instructions: int = 20000
+    code_bytes: int = 16 * 1024          # static code footprint
+    code_hot_bytes: int = 12 * 1024      # hot code region (jump locality)
+    data_bytes: int = 256 * 1024         # data working set
+    stream_fraction: float = 0.35        # sequential-walk accesses
+    hot_fraction: float = 0.45           # accesses to a small hot set
+    hot_bytes: int = 8 * 1024
+    warm_fraction: float = 0.0           # mid-size working-set accesses
+    # The warm tier is a strided cyclic walk whose cache footprint
+    # (one line per stride) sits between the two generations' L2
+    # capacities — the access pattern that makes L2 size matter.
+    warm_bytes: int = 3 * 1024 * 1024
+    branch_sites: int = 120
+    branch_bias: float = 0.85            # mean per-site taken probability
+    loop_branch_fraction: float = 0.35   # sites that behave like loops
+    mean_loop_trip: int = 12
+    dep_distance_mean: float = 4.0       # geometric dependency distance
+    # fraction of instructions that start a fresh dependence chain
+    # (immediates, loop-invariant bases) — keeps chains realistically short
+    chain_break_fraction: float = 0.30
+    # fraction of loads whose *address* depends on a recent load result
+    # (pointer chasing; high for mcf/omnetpp)
+    pointer_chase_fraction: float = 0.05
+    # number of independent dependence strands (unrolled iterations /
+    # independent expressions in flight); bounds achievable ILP and MLP
+    ilp_strands: int = 8
+    seed: int = 1234
+    suite: str = "synthetic"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        total = sum(self.mix.values())
+        if not 0.99 <= total <= 1.01:
+            raise TraceError(
+                f"{self.name}: instruction mix sums to {total:.3f}")
+        if self.instructions <= 0:
+            raise TraceError("need a positive instruction count")
+
+
+class _AddressEngine:
+    """Produces data addresses with stream/hot/random locality classes."""
+
+    def __init__(self, spec: WorkloadSpec, rng: np.random.Generator):
+        self._spec = spec
+        self._rng = rng
+        self._stream_pos = 0
+        base = 0x10000000
+        self._base = base
+        self._hot_base = base + spec.data_bytes
+        self._warm_base = self._hot_base + spec.hot_bytes + 4096
+        self._warm_pos = 0
+        self._warm_stride = 192     # 3 lines: defeats next-line prefetch
+
+    def next(self, size: int) -> int:
+        r = self._rng.random()
+        spec = self._spec
+        if r < spec.stream_fraction:
+            self._stream_pos = (self._stream_pos + size) % spec.data_bytes
+            return self._base + self._stream_pos
+        r -= spec.stream_fraction
+        if r < spec.hot_fraction:
+            off = int(self._rng.integers(0, max(1, spec.hot_bytes // 8)))
+            return self._hot_base + off * 8
+        r -= spec.hot_fraction
+        if r < spec.warm_fraction:
+            self._warm_pos = (self._warm_pos
+                              + self._warm_stride) % spec.warm_bytes
+            return self._warm_base + self._warm_pos
+        off = int(self._rng.integers(0, max(1, spec.data_bytes // 8)))
+        return self._base + off * 8
+
+
+class _BranchEngine:
+    """Static branch sites visited in program order.
+
+    Sites are walked cyclically (like the control flow of a real
+    program's hot loop nest) with occasional random transfers.  Loop
+    sites follow a taken-(trip-1)-times-then-fall-through pattern that
+    long-history predictors can learn; plain sites are biased coin
+    flips.  Site predictability is bimodal: most branches in compiled
+    code are highly biased, a minority are data-dependent.
+    """
+
+    def __init__(self, spec: WorkloadSpec, rng: np.random.Generator):
+        self._rng = rng
+        count = max(1, spec.branch_sites)
+        # branch sites live inside the hot code region (offset +16 within
+        # their 32-byte line, interleaved with straight-line code)
+        hot_lines = max(count, spec.code_hot_bytes // 32)
+        self._pcs = (0x4000 + 32 * rng.permutation(hot_lines)[:count] + 16)
+        strongly_biased = rng.random(count) < 0.85
+        self._bias = np.where(
+            strongly_biased,
+            np.clip(rng.normal(0.985, 0.010, count), 0.95, 0.999),
+            np.clip(rng.normal(spec.branch_bias, 0.10, count), 0.55, 0.95))
+        self._is_loop = rng.random(count) < spec.loop_branch_fraction
+        trips = rng.geometric(1.0 / max(2, spec.mean_loop_trip), count)
+        self._trip = np.maximum(3, trips)
+        self._counter = np.zeros(count, dtype=np.int64)
+        self._cursor = 0
+        self._jump_prob = 0.05
+        self._streak_left = 0       # remaining iterations at a loop site
+
+    def next(self) -> tuple:
+        """Returns (pc, taken) for the next dynamic branch."""
+        if self._streak_left == 0:
+            if self._rng.random() < self._jump_prob:
+                self._cursor = int(self._rng.integers(0, len(self._pcs)))
+            else:
+                self._cursor = (self._cursor + 1) % len(self._pcs)
+            if self._is_loop[self._cursor]:
+                self._streak_left = int(self._trip[self._cursor])
+        site = self._cursor
+        pc = int(self._pcs[site])
+        if self._is_loop[site]:
+            # loop backedge: taken trip-1 times, then falls through
+            self._streak_left -= 1
+            taken = self._streak_left > 0
+        else:
+            taken = bool(self._rng.random() < self._bias[site])
+        return pc, taken
+
+
+def generate(spec: WorkloadSpec) -> Trace:
+    """Generate a synthetic trace from a workload specification."""
+    rng = np.random.default_rng(spec.seed)
+    addr = _AddressEngine(spec, rng)
+    branches = _BranchEngine(spec, rng)
+
+    classes = list(spec.mix.keys())
+    probs = np.array([spec.mix[c] for c in classes], dtype=float)
+    probs /= probs.sum()
+    draws = rng.choice(len(classes), size=spec.instructions, p=probs)
+
+    code_lines = max(1, spec.code_bytes // 32)
+    hot_lines = max(1, min(code_lines, spec.code_hot_bytes // 32))
+    instrs: List[Instruction] = []
+    pc_line = 0
+    # long-lived base registers (stack/frame/loop-invariant pointers):
+    # roots of most dependence chains in compiled code
+    base_regs = [GPR_BASE + 1, GPR_BASE + 2, GPR_BASE + 13, GPR_BASE + 31]
+    # independent dependence strands; each tracks its newest value
+    strands = max(1, spec.ilp_strands)
+    strand_last: List[int] = [base_regs[s % len(base_regs)]
+                              for s in range(strands)]
+    # Indirect sites: most are dominated by one target (monomorphic call
+    # sites) and mispredict rarely; a minority alternate between targets
+    # in a pattern only a history-based predictor (POWER10) can follow.
+    indirect_sites = []
+    for s in range(max(2, spec.branch_sites // 20)):
+        targets = [0x8000 + 4096 * s + 256 * t
+                   for t in range(2 + int(rng.integers(0, 3)))]
+        alternating = bool(rng.random() < 0.35)
+        site_pc = 0x4000 + 32 * int(rng.integers(0, hot_lines)) + 20
+        indirect_sites.append((site_pc, targets, alternating))
+    indirect_counters = [0] * len(indirect_sites)
+
+    for i in range(spec.instructions):
+        iclass = classes[draws[i]]
+        # walk the code footprint; branches jump within it
+        pc_line = (pc_line + (1 if i % 4 == 0 else 0)) % code_lines
+        pc = 0x4000 + pc_line * 32 + (i % 4) * 4
+
+        strand = int(rng.integers(0, strands))
+        # distinct architectural register per strand slot, cycled so
+        # renaming pressure is realistic
+        dest = GPR_BASE + 3 + (strand * 3 + (i // strands) % 3) % (
+            NUM_GPRS - 3)
+        srcs: List[int] = []
+        if rng.random() < spec.chain_break_fraction:
+            srcs.append(base_regs[int(rng.integers(0, len(base_regs)))])
+        else:
+            srcs.append(strand_last[strand])
+            if rng.random() < 0.25:      # occasional cross-strand use
+                other = int(rng.integers(0, strands))
+                srcs.append(strand_last[other])
+
+        if iclass is InstrClass.BRANCH:
+            bpc, taken = branches.next()
+            instr = Instruction(iclass=iclass, srcs=tuple(srcs[:1]),
+                                taken=taken, pc=bpc,
+                                target=bpc + (64 if taken else 4))
+            if taken:
+                # control transfers land in the hot code region most of
+                # the time; occasional cold transfers touch the rest
+                if rng.random() < 0.88:
+                    pc_line = int(rng.integers(0, hot_lines))
+                else:
+                    pc_line = int(rng.integers(0, code_lines))
+        elif iclass is InstrClass.BRANCH_IND:
+            site = int(rng.integers(0, len(indirect_sites)))
+            site_pc, targets, alternating = indirect_sites[site]
+            indirect_counters[site] += 1
+            if alternating:
+                tgt = targets[indirect_counters[site] % len(targets)]
+            elif rng.random() < 0.9:
+                tgt = targets[0]
+            else:
+                tgt = targets[int(rng.integers(1, len(targets)))]
+            instr = Instruction(iclass=iclass, srcs=tuple(srcs[:1]),
+                                taken=True, pc=site_pc, target=tgt)
+        elif iclass in (InstrClass.LOAD, InstrClass.VSX_LOAD):
+            size = 16 if iclass is InstrClass.VSX_LOAD else 8
+            if rng.random() < spec.pointer_chase_fraction:
+                addr_src = strand_last[strand]  # address from a result
+            else:
+                addr_src = base_regs[int(rng.integers(0, len(base_regs)))]
+            instr = Instruction(iclass=iclass, dests=(dest,),
+                                srcs=(addr_src,),
+                                address=addr.next(size), size=size, pc=pc)
+        elif iclass in (InstrClass.STORE, InstrClass.VSX_STORE):
+            size = 16 if iclass is InstrClass.VSX_STORE else 8
+            instr = Instruction(iclass=iclass, srcs=tuple(srcs),
+                                address=addr.next(size), size=size, pc=pc)
+        elif iclass is InstrClass.VSX:
+            vdest = VSR_BASE + int(rng.integers(0, 32))
+            instr = Instruction(iclass=iclass, dests=(vdest,),
+                                srcs=tuple(srcs), pc=pc, flops=4)
+        elif iclass is InstrClass.FP:
+            instr = Instruction(iclass=iclass, dests=(dest,),
+                                srcs=tuple(srcs), pc=pc, flops=2)
+        else:
+            instr = Instruction(iclass=iclass, dests=(dest,),
+                                srcs=tuple(srcs), pc=pc)
+        if instr.dests:
+            strand_last[strand] = instr.dests[0]
+        instrs.append(instr)
+
+    return Trace(name=spec.name, instructions=instrs, suite=spec.suite,
+                 weight=spec.weight,
+                 metadata={"spec": spec.name, "seed": spec.seed})
+
+
+# ---------------------------------------------------------------------------
+# Microprobe-style directed testcases (derating suites of Fig. 13).
+# ---------------------------------------------------------------------------
+
+def microbenchmark(name: str, *, dependency_distance: int = 0,
+                   data_init: str = "random", instructions: int = 4000,
+                   iclass: InstrClass = InstrClass.FX,
+                   seed: int = 7) -> Trace:
+    """A directed microbenchmark with fixed dependency distance.
+
+    ``dependency_distance=0`` (DD0) makes every instruction depend on the
+    immediately preceding one (a serial chain, low IPC, low switching
+    breadth); ``DD1`` leaves one instruction of slack (two independent
+    chains).  ``data_init`` selects operand values: ``"zero"`` keeps
+    data switching minimal, ``"random"`` maximizes it — the distinction
+    matters for the SERMiner derating study, which reads the metadata.
+    """
+    if dependency_distance not in (0, 1):
+        raise TraceError("dependency distance must be 0 or 1 (DD0/DD1)")
+    if data_init not in ("zero", "random"):
+        raise TraceError("data_init must be 'zero' or 'random'")
+    rng = np.random.default_rng(seed)
+    chains = dependency_distance + 1
+    regs = [GPR_BASE + 2 + c for c in range(chains)]
+    instrs: List[Instruction] = []
+    for i in range(instructions):
+        reg = regs[i % chains]
+        pc = 0x4000 + (i % 64) * 4
+        if iclass is InstrClass.LOAD:
+            instrs.append(Instruction(
+                iclass=iclass, dests=(reg,), srcs=(reg,),
+                address=0x2000000 + (i % 512) * 8, size=8, pc=pc))
+        else:
+            instrs.append(Instruction(
+                iclass=iclass, dests=(reg,), srcs=(reg,), pc=pc))
+    return Trace(name=name, instructions=instrs, suite="microprobe",
+                 metadata={"dd": dependency_distance,
+                           "data_init": data_init,
+                           "iclass": iclass.value})
+
+
+def derating_suites(smt_levels: Sequence[int] = (1, 2, 4),
+                    instructions: int = 3000) -> List[Trace]:
+    """The Fig. 13 testcase grid: SMT x DD x data-init."""
+    suites: List[Trace] = []
+    for smt in smt_levels:
+        prefix = "st" if smt == 1 else f"smt{smt}"
+        for dd in (0, 1):
+            for init in ("random", "zero"):
+                name = f"{prefix}_dd{dd}_{init}"
+                thread = microbenchmark(
+                    name, dependency_distance=dd, data_init=init,
+                    instructions=instructions)
+                if smt == 1:
+                    trace = thread
+                else:
+                    trace = merge_smt([thread] * smt, name=name)
+                    trace.metadata.update(thread.metadata)
+                trace.metadata["smt"] = smt
+                suites.append(trace)
+    return suites

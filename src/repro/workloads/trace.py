@@ -1,0 +1,109 @@
+"""Workload traces: the unit of work every simulator run consumes.
+
+A :class:`Trace` is an ordered list of dynamic
+:class:`~repro.core.isa.Instruction` records plus metadata (name, suite,
+weight for suite-level aggregation).  Traces come from the generators in
+this package (synthetic microbenchmarks, SPECint proxies, GEMM kernels,
+AI workload layers) and can be sliced into windows for the 5K-cycle
+measurement methodology of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from ..core.isa import Instruction, InstrClass
+from ..errors import TraceError
+
+
+@dataclass
+class Trace:
+    """An instruction trace with provenance metadata."""
+
+    name: str
+    instructions: List[Instruction]
+    suite: str = ""
+    weight: float = 1.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise TraceError(f"trace {self.name!r} is empty")
+        if self.weight <= 0:
+            raise TraceError("trace weight must be positive")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def class_mix(self) -> Dict[InstrClass, float]:
+        """Fraction of instructions per class."""
+        counts: Dict[InstrClass, int] = {}
+        for instr in self.instructions:
+            counts[instr.iclass] = counts.get(instr.iclass, 0) + 1
+        total = len(self.instructions)
+        return {cls: cnt / total for cls, cnt in counts.items()}
+
+    def total_flops(self) -> int:
+        return sum(i.flops for i in self.instructions)
+
+    def windows(self, size: int) -> List["Trace"]:
+        """Split into fixed-size instruction windows (last partial kept
+        if it is at least half a window)."""
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        out: List[Trace] = []
+        for start in range(0, len(self.instructions), size):
+            chunk = self.instructions[start:start + size]
+            if len(chunk) >= size // 2:
+                out.append(Trace(
+                    name=f"{self.name}@{start}", instructions=chunk,
+                    suite=self.suite, weight=self.weight,
+                    metadata=dict(self.metadata)))
+        if not out:
+            raise TraceError("trace shorter than half a window")
+        return out
+
+    def repeated(self, times: int) -> "Trace":
+        """The trace unrolled ``times`` times (L1-contained endless-loop
+        proxies are built this way)."""
+        if times <= 0:
+            raise ValueError("times must be positive")
+        import copy
+        body: List[Instruction] = []
+        for _ in range(times):
+            body.extend(copy.copy(i) for i in self.instructions)
+        return Trace(name=f"{self.name}x{times}", instructions=body,
+                     suite=self.suite, weight=self.weight,
+                     metadata=dict(self.metadata))
+
+
+def merge_smt(traces: Sequence[Trace], name: str = "smt") -> Trace:
+    """Interleave per-thread traces round-robin into one SMT trace.
+
+    Thread ids are (re)assigned by position.  The simulator uses the
+    ``thread`` field for dependence tracking and predictor history.
+    """
+    if not traces:
+        raise TraceError("need at least one thread trace")
+    import copy
+    streams = []
+    for tid, trace in enumerate(traces):
+        stream = []
+        for instr in trace.instructions:
+            clone = copy.copy(instr)
+            clone.thread = tid
+            stream.append(clone)
+        streams.append(stream)
+    merged: List[Instruction] = []
+    longest = max(len(s) for s in streams)
+    for i in range(longest):
+        for stream in streams:
+            if i < len(stream):
+                merged.append(stream[i])
+    return Trace(name=name, instructions=merged,
+                 suite=traces[0].suite,
+                 metadata={"threads": len(traces)})

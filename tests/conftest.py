@@ -1,0 +1,51 @@
+"""Shared fixtures: configurations and small cached workloads.
+
+Workload generation and simulation are deterministic, so suite-level
+fixtures are session-scoped and treated as read-only by tests.
+"""
+
+import pytest
+
+from repro.core import power9_config, power10_config
+from repro.workloads import (daxpy_trace, dgemm_mma_trace,
+                             dgemm_vsu_trace, generate, specint_suite,
+                             WorkloadSpec)
+
+
+@pytest.fixture(scope="session")
+def p9():
+    return power9_config()
+
+
+@pytest.fixture(scope="session")
+def p10():
+    return power10_config()
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small, varied synthetic workload (~6k instructions)."""
+    return generate(WorkloadSpec(name="small", instructions=6000,
+                                 seed=42))
+
+
+@pytest.fixture(scope="session")
+def daxpy():
+    return daxpy_trace(800)
+
+
+@pytest.fixture(scope="session")
+def vsu_kernel():
+    return dgemm_vsu_trace(400)
+
+
+@pytest.fixture(scope="session")
+def mma_kernel():
+    return dgemm_mma_trace(400)
+
+
+@pytest.fixture(scope="session")
+def mini_suite():
+    """Three scaled SPECint workloads for cross-module tests."""
+    return specint_suite(instructions=8000, footprint_scale=8,
+                         names=["xz", "leela", "exchange2"])

@@ -1,0 +1,76 @@
+"""Unit tests for activity counters."""
+
+import pytest
+
+from repro.core.activity import ActivityCounters, EVENT_NAMES, UNIT_NAMES
+
+
+class TestCounting:
+    def test_count_accumulates(self):
+        act = ActivityCounters()
+        act.count("issue_fx", 3)
+        act.count("issue_fx")
+        assert act.events["issue_fx"] == 4
+
+    def test_unknown_event_rejected(self):
+        act = ActivityCounters()
+        with pytest.raises(KeyError):
+            act.count("made_up_event")
+
+    def test_unknown_unit_rejected(self):
+        act = ActivityCounters()
+        with pytest.raises(KeyError):
+            act.busy("warp_drive")
+
+    def test_all_events_countable(self):
+        act = ActivityCounters()
+        for event in EVENT_NAMES:
+            act.count(event)
+        assert all(v == 1 for v in act.events.values())
+
+
+class TestDerivedMetrics:
+    def test_utilization_bounds(self):
+        act = ActivityCounters(cycles=100)
+        act.busy("fx", 250)
+        assert act.utilization("fx") == 1.0
+        assert act.utilization("vsu") == 0.0
+
+    def test_utilization_zero_cycles(self):
+        assert ActivityCounters().utilization("fx") == 0.0
+
+    def test_ipc(self):
+        act = ActivityCounters(cycles=200, instructions=100)
+        assert act.ipc == 0.5
+
+    def test_rates(self):
+        act = ActivityCounters(cycles=100)
+        act.count("decode_instr", 50)
+        assert act.rates()["decode_instr"] == 0.5
+
+    def test_rates_no_cycles(self):
+        assert all(v == 0.0 for v in ActivityCounters().rates().values())
+
+    def test_as_vector_order(self):
+        act = ActivityCounters()
+        act.count("l1d_access", 7)
+        vec = act.as_vector(["l1d_access", "l2_access"])
+        assert vec == [7.0, 0.0]
+
+
+class TestMerge:
+    def test_merge_adds_everything(self):
+        a = ActivityCounters(cycles=10, instructions=5)
+        b = ActivityCounters(cycles=20, instructions=15)
+        a.count("issue_fx", 2)
+        b.count("issue_fx", 3)
+        b.busy("fx", 4)
+        a.merge(b)
+        assert a.cycles == 30
+        assert a.instructions == 20
+        assert a.events["issue_fx"] == 5
+        assert a.unit_busy_cycles["fx"] == 4
+
+    def test_unit_names_cover_all_busy_keys(self):
+        act = ActivityCounters()
+        assert set(act.unit_busy_cycles) == set(UNIT_NAMES)

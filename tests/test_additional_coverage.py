@@ -1,0 +1,107 @@
+"""Additional edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import power10_config, power9_config
+from repro.core.mma import MMAUnit, mma_gemm
+from repro.core.pipeline import simulate
+from repro.errors import ModelError
+from repro.pm import WofDesignPoint, WofGovernor
+from repro.power import Apex, Powerminer
+from repro.power.scaling import (VFCurve, VFPoint, leakage_power_scale)
+from repro.workloads import microbenchmark
+from repro.core.isa import InstrClass
+
+
+class TestMmaBf16:
+    def test_bf16_rank2(self):
+        unit = MMAUnit()
+        unit.xxsetaccz(0)
+        x = np.ones((4, 2))
+        y = np.ones((4, 2))
+        unit.ger(0, x, y, dtype="bf16")
+        np.testing.assert_allclose(unit.xxmfacc(0), 2 * np.ones((4, 4)))
+
+    def test_bf16_gemm(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((8, 6)).astype(np.float32)
+        b = rng.standard_normal((6, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            mma_gemm(a, b, dtype="bf16"),
+            a.astype(np.float64) @ b.astype(np.float64), rtol=1e-5)
+
+
+class TestLoadMicrobenchmark:
+    def test_load_class_serial_chain(self, p9):
+        trace = microbenchmark("ld-chain", dependency_distance=0,
+                               iclass=InstrClass.LOAD,
+                               instructions=1000)
+        result = simulate(p9, trace, warmup_fraction=0.3)
+        # dependent loads: IPC bounded by the L1 load-to-use latency
+        assert result.ipc < 0.5
+
+    def test_dd1_doubles_throughput(self, p9):
+        dd0 = simulate(p9, microbenchmark("a", dependency_distance=0,
+                                          instructions=2000),
+                       warmup_fraction=0.3)
+        dd1 = simulate(p9, microbenchmark("b", dependency_distance=1,
+                                          instructions=2000),
+                       warmup_fraction=0.3)
+        assert dd1.ipc > dd0.ipc * 1.5
+
+
+class TestPowerminerDetail:
+    def test_potential_vs_observed(self, p9, small_trace):
+        report = Powerminer(p9).report(
+            simulate(p9, small_trace).activity)
+        for unit in report.units.values():
+            assert unit.observed_latch_switching \
+                <= unit.potential_latch_switching + 1e-9
+
+
+class TestApexMetadata:
+    def test_chip_model_flag(self, small_trace):
+        chip = Apex(power10_config()).run(small_trace,
+                                          interval_instructions=3000)
+        core = Apex(power10_config(infinite_l2=True)).run(
+            small_trace, interval_instructions=3000)
+        assert chip.metadata["chip_model"]
+        assert not core.metadata["chip_model"]
+
+    def test_interval_power_positive_everywhere(self, small_trace):
+        run = Apex(power9_config()).run(small_trace,
+                                        interval_instructions=2000)
+        assert all(iv.power_w > 0.5 for iv in run.intervals)
+
+
+class TestScalingExtras:
+    def test_leakage_scale(self):
+        curve = VFCurve(VFPoint(4.0, 1.0))
+        assert leakage_power_scale(curve, 4.0, 4.4) > 1.0
+        assert leakage_power_scale(curve, 4.0, 3.0) < 1.0
+
+    def test_vf_point_validation(self):
+        with pytest.raises(ModelError):
+            VFPoint(0.0, 1.0)
+
+
+class TestWofBoostPower:
+    def test_power_at_boost_scales_dynamic(self, p10):
+        governor = WofGovernor(p10, WofDesignPoint(tdp_core_w=6.0,
+                                                   rdp_core_w=7.0))
+        decision = governor.decide("w", 3.0)
+        boosted = governor.power_at_boost(3.0, decision)
+        assert boosted >= 3.0        # boosting never reduces power
+
+
+class TestSmtQueuePartitioning:
+    def test_smt_uses_bigger_queues(self, daxpy):
+        from repro.workloads import merge_smt
+        smt_trace = merge_smt([daxpy, daxpy], name="d2")
+        result = simulate(power10_config(smt=2), smt_trace)
+        # the run completes with the SMT queue partitioning in effect
+        assert result.metadata["smt"] == 2
+
+    def test_st_mode_metadata(self, p10, daxpy):
+        assert simulate(p10, daxpy).metadata["smt"] == 1

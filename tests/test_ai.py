@@ -1,0 +1,108 @@
+"""Tests for the end-to-end AI workload models (Fig. 6)."""
+
+import pytest
+
+from repro.core import power9_config, power10_config
+from repro.errors import ModelError
+from repro.workloads.ai import (bert_large_gemms, bert_large_profile,
+                                figure6_rows, project_inference,
+                                resnet50_gemms, resnet50_profile,
+                                socket_ai_speedup)
+
+
+class TestLayerTables:
+    def test_resnet_flops_band(self):
+        flops = sum(g.flops for g in resnet50_gemms())
+        # ResNet-50 is ~4 GFLOPs/image; the im2col mapping with
+        # projection shortcuts lands within 2.5x of that
+        assert 3e9 < flops < 11e9
+
+    def test_resnet_has_conv1_and_fc(self):
+        gemms = resnet50_gemms()
+        assert gemms[0].k == 147        # 3x7x7 im2col
+        assert gemms[-1].n == 1000      # classifier
+
+    def test_bert_flops_scale_with_sequence(self):
+        short = sum(g.flops for g in bert_large_gemms(128))
+        long = sum(g.flops for g in bert_large_gemms(384))
+        assert long > 2.5 * short
+
+    def test_bert_layer_structure(self):
+        gemms = bert_large_gemms(384)
+        assert len(gemms) == 24 * (3 + 16 + 16 + 1 + 2)
+
+
+class TestProjection:
+    def test_mma_requires_capable_core(self):
+        with pytest.raises(ModelError):
+            project_inference(resnet50_profile(batch=1),
+                              power9_config(), use_mma=True)
+
+    def test_int8_requires_mma(self):
+        with pytest.raises(ModelError):
+            project_inference(resnet50_profile(batch=1),
+                              power10_config(), use_mma=False,
+                              dtype="int8")
+
+    def test_mma_shrinks_instruction_count(self):
+        profile = resnet50_profile(batch=1)
+        vsu = project_inference(profile, power10_config(), use_mma=False)
+        mma = project_inference(profile, power10_config(), use_mma=True)
+        assert mma.gemm_instructions < vsu.gemm_instructions / 3
+        assert mma.total_cycles < vsu.total_cycles
+
+    def test_batch_scales_work(self):
+        small = project_inference(resnet50_profile(batch=1),
+                                  power9_config())
+        big = project_inference(resnet50_profile(batch=10),
+                                power9_config())
+        assert big.total_cycles == pytest.approx(
+            10 * small.total_cycles, rel=0.01)
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def resnet_rows(self):
+        return figure6_rows(resnet50_profile())
+
+    @pytest.fixture(scope="class")
+    def bert_rows(self):
+        return figure6_rows(bert_large_profile())
+
+    def test_speedup_bands(self, resnet_rows, bert_rows):
+        # paper: 2.25x / 3.55x (ResNet), 2.08x / 3.64x (BERT)
+        assert 1.8 < resnet_rows["POWER10 w/o MMA"]["speedup"] < 2.7
+        assert 3.0 < resnet_rows["POWER10 w/ MMA"]["speedup"] < 4.4
+        assert 1.7 < bert_rows["POWER10 w/o MMA"]["speedup"] < 2.5
+        assert 3.0 < bert_rows["POWER10 w/ MMA"]["speedup"] < 4.6
+
+    def test_paper_orderings(self, resnet_rows, bert_rows):
+        # with the MMA, BERT gains more than ResNet; without it, less
+        assert bert_rows["POWER10 w/ MMA"]["speedup"] \
+            > resnet_rows["POWER10 w/ MMA"]["speedup"] - 0.2
+        assert bert_rows["POWER10 w/o MMA"]["speedup"] \
+            < resnet_rows["POWER10 w/o MMA"]["speedup"] + 0.1
+
+    def test_mma_cuts_instructions(self, resnet_rows):
+        assert resnet_rows["POWER10 w/ MMA"]["total_instructions"] < 0.6
+
+    def test_cycles_inverse_of_speedup(self, resnet_rows):
+        for row in resnet_rows.values():
+            assert row["cycles"] == pytest.approx(1 / row["speedup"],
+                                                  rel=1e-6)
+
+
+class TestSocket:
+    def test_fp32_band(self):
+        # paper: "up to 10x"
+        assert 8.0 < socket_ai_speedup(resnet50_profile()) < 13.0
+
+    def test_int8_band(self):
+        # paper: "as much as 21x"
+        assert 17.0 < socket_ai_speedup(resnet50_profile(),
+                                        dtype="int8") < 27.0
+
+    def test_int8_exceeds_fp32(self):
+        profile = bert_large_profile()
+        assert socket_ai_speedup(profile, dtype="int8") \
+            > socket_ai_speedup(profile)

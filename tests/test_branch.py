@@ -1,0 +1,133 @@
+"""Unit tests for the branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.branch import (BimodalPredictor, BranchUnit,
+                               GSharePredictor, HybridPredictor,
+                               IndirectPredictor, TagePredictor,
+                               make_branch_unit)
+from repro.core.isa import Instruction, InstrClass
+
+
+def _run(pred, seq):
+    wrong = 0
+    for pc, taken in seq:
+        if pred.predict(pc) != taken:
+            wrong += 1
+        pred.update(pc, taken)
+    return wrong / len(seq)
+
+
+def _biased_stream(n=4000, bias=0.95, sites=16, seed=3):
+    rng = np.random.default_rng(seed)
+    return [(0x4000 + 64 * int(rng.integers(0, sites)),
+             bool(rng.random() < bias)) for _ in range(n)]
+
+
+def _loop_stream(trip=7, n=4200):
+    seq = []
+    for i in range(n):
+        seq.append((0x5000, (i % trip) != trip - 1))
+    return seq
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        assert _run(BimodalPredictor(), _biased_stream()) < 0.10
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=1000)
+
+    def test_loop_exit_mispredicted(self):
+        # bimodal must miss roughly one branch per loop trip
+        rate = _run(BimodalPredictor(), _loop_stream(trip=7))
+        assert 0.10 < rate < 0.25
+
+
+class TestGShare:
+    def test_learns_short_pattern(self):
+        # alternating pattern is perfectly predictable from history
+        seq = [(0x6000, i % 2 == 0) for i in range(4000)]
+        assert _run(GSharePredictor(), seq) < 0.05
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(entries=3)
+
+
+class TestTage:
+    def test_learns_loop_exits(self):
+        rate = _run(TagePredictor(), _loop_stream(trip=7))
+        assert rate < 0.05
+
+    def test_beats_hybrid_on_loops(self):
+        seq = _loop_stream(trip=11, n=6000)
+        tage = _run(TagePredictor(), seq)
+        hybrid = _run(HybridPredictor(), seq)
+        assert tage <= hybrid
+
+    def test_biased_branches_fine(self):
+        assert _run(TagePredictor(), _biased_stream()) < 0.12
+
+
+class TestIndirect:
+    def test_btb_learns_monomorphic(self):
+        pred = IndirectPredictor(entries=64, use_history=False)
+        for _ in range(20):
+            pred.update(0x4000, 0x8000)
+        assert pred.predict(0x4000) == 0x8000
+
+    def test_btb_fails_on_alternation(self):
+        pred = IndirectPredictor(entries=64, use_history=False)
+        wrong = 0
+        for i in range(200):
+            target = 0x8000 if i % 2 == 0 else 0x9000
+            if pred.predict(0x4000) != target:
+                wrong += 1
+            pred.update(0x4000, target)
+        assert wrong > 150
+
+    def test_local_history_learns_alternation(self):
+        pred = IndirectPredictor(entries=1024, use_history=True)
+        wrong = 0
+        for i in range(400):
+            target = 0x8000 if i % 2 == 0 else 0x9000
+            if i >= 50 and pred.predict(0x4000) != target:
+                wrong += 1
+            pred.update(0x4000, target)
+        assert wrong < 40
+
+
+class TestBranchUnit:
+    def test_factory_kinds(self):
+        assert isinstance(make_branch_unit("power9").direction,
+                          HybridPredictor)
+        assert isinstance(make_branch_unit("power10").direction,
+                          TagePredictor)
+        with pytest.raises(ValueError):
+            make_branch_unit("power11")
+
+    def test_process_counts_stats(self):
+        unit = make_branch_unit("power10")
+        instr = Instruction(iclass=InstrClass.BRANCH, taken=True,
+                            pc=0x4000, target=0x4040)
+        unit.process(instr)
+        assert unit.stats.lookups == 1
+
+    def test_process_rejects_non_branch(self):
+        unit = make_branch_unit("power9")
+        with pytest.raises(ValueError):
+            unit.process(Instruction(iclass=InstrClass.FX))
+
+    def test_indirect_path(self):
+        unit = make_branch_unit("power9")
+        instr = Instruction(iclass=InstrClass.BRANCH_IND, taken=True,
+                            pc=0x4800, target=0x9000)
+        unit.process(instr)
+        assert unit.stats.indirect_lookups == 1
+
+    def test_mispredict_rate_definition(self):
+        unit = make_branch_unit("power9")
+        assert unit.stats.mispredict_rate == 0.0

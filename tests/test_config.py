@@ -1,0 +1,120 @@
+"""Unit tests for core configurations and the Fig. 4 feature ladder."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (CoreConfig, EnergyTable, FEATURE_NAMES,
+                               apply_features, power9_config,
+                               power10_config)
+from repro.errors import ConfigError
+
+
+class TestFactories:
+    def test_generations(self):
+        assert power9_config().generation == "power9"
+        assert power10_config().generation == "power10"
+
+    def test_p10_headline_structures(self):
+        p9, p10 = power9_config(), power10_config()
+        assert p10.issue.window_entries == 2 * p9.issue.window_entries
+        assert p10.issue.vsx_ports == 2 * p9.issue.vsx_ports
+        assert p10.hierarchy.l2.size_bytes == 4 * p9.hierarchy.l2.size_bytes
+        assert p10.mmu.tlb_entries == 4 * p9.mmu.tlb_entries
+        assert p10.front_end.decode_width == 8
+        assert p9.front_end.decode_width == 6
+
+    def test_ea_tagging_split(self):
+        assert not power9_config().ea_tagged_l1
+        assert power10_config().ea_tagged_l1
+
+    def test_mma_only_on_p10(self):
+        assert not power9_config().issue.mma_present
+        assert power10_config().issue.mma_present
+
+    def test_gating_discipline(self):
+        assert power10_config().power.gating_floor \
+            < power9_config().power.gating_floor
+
+    def test_smt_levels(self):
+        for smt in (1, 2, 4, 8):
+            assert power10_config(smt=smt).smt == smt
+        with pytest.raises(ConfigError):
+            power10_config(smt=3)
+
+    def test_with_smt(self):
+        cfg = power9_config().with_smt(4)
+        assert cfg.smt == 4
+
+    def test_cache_scale(self):
+        full = power10_config()
+        scaled = power10_config(cache_scale=8)
+        assert scaled.hierarchy.l2.size_bytes \
+            == full.hierarchy.l2.size_bytes // 8
+        assert scaled.hierarchy.l2.latency == full.hierarchy.l2.latency
+
+    def test_infinite_l2_mode(self):
+        assert power10_config(infinite_l2=True).hierarchy.infinite_l2
+
+    def test_peak_flops(self):
+        assert power9_config().vsx_flops_per_cycle_fp64 == 8
+        assert power10_config().vsx_flops_per_cycle_fp64 == 16
+        assert power10_config().mma_flops_per_cycle_fp64 == 32
+        assert power9_config().mma_flops_per_cycle_fp64 == 0
+
+
+class TestEnergyTable:
+    def test_lookup_and_default(self):
+        table = EnergyTable({"issue_fx": 10.0})
+        assert table.energy_pj("issue_fx") == 10.0
+        assert table.energy_pj("unknown") == 0.0
+
+    def test_scaled(self):
+        table = EnergyTable({"issue_fx": 10.0}).scaled(0.5)
+        assert table.energy_pj("issue_fx") == 5.0
+
+
+class TestFeatureLadder:
+    def test_unknown_feature(self):
+        with pytest.raises(ConfigError):
+            apply_features(power9_config(), ["warp"])
+
+    def test_branch_feature(self):
+        cfg = apply_features(power9_config(), ["branch"])
+        assert cfg.front_end.branch_kind == "power10"
+
+    def test_l2_feature_only_changes_l2(self):
+        base = power9_config()
+        cfg = apply_features(base, ["l2_cache"])
+        assert cfg.hierarchy.l2.size_bytes == 4 * base.hierarchy.l2.size_bytes
+        assert cfg.hierarchy.l1i.size_bytes == base.hierarchy.l1i.size_bytes
+        assert cfg.mmu.tlb_entries == base.mmu.tlb_entries
+
+    def test_decode_vsx_feature(self):
+        cfg = apply_features(power9_config(), ["decode_vsx"])
+        assert cfg.front_end.decode_width == 8
+        assert cfg.front_end.fusion_enabled
+        assert cfg.issue.vsx_ports == 4
+
+    def test_queues_feature(self):
+        cfg = apply_features(power9_config(), ["queues"])
+        assert cfg.issue.window_entries == 512
+        assert cfg.lsu.load_miss_queue == 12
+
+    def test_all_features_compose(self):
+        cfg = apply_features(power9_config(), list(FEATURE_NAMES))
+        assert "+".join(FEATURE_NAMES) in cfg.name
+
+    def test_ladder_leaves_base_untouched(self):
+        base = power9_config()
+        apply_features(base, list(FEATURE_NAMES))
+        assert base.front_end.decode_width == 6
+
+
+class TestValidation:
+    def test_window_smaller_than_decode_rejected(self):
+        cfg = power9_config()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(
+                cfg, issue=dataclasses.replace(cfg.issue,
+                                               window_entries=2))

@@ -1,0 +1,100 @@
+"""Tests for the Einspower reference power model."""
+
+import pytest
+
+from repro.core.pipeline import simulate
+from repro.errors import ModelError
+from repro.power.components import (COMPONENTS, EVENT_COMPONENT,
+                                    components_of_unit,
+                                    validate_inventory)
+from repro.power.einspower import EinspowerModel
+
+
+class TestComponents:
+    def test_exactly_39(self):
+        assert len(COMPONENTS) == 39
+
+    def test_inventory_valid(self):
+        validate_inventory()
+
+    def test_every_event_charged_once(self):
+        seen = set()
+        for comp in COMPONENTS:
+            for ev in comp.events:
+                assert ev not in seen
+                seen.add(ev)
+        assert seen == set(EVENT_COMPONENT)
+
+    def test_unit_lookup(self):
+        assert components_of_unit("vsu")
+        assert all(c.unit == "lsu" for c in components_of_unit("lsu"))
+
+    def test_clock_shares_normalized_per_unit(self):
+        by_unit = {}
+        for comp in COMPONENTS:
+            by_unit.setdefault(comp.unit, 0.0)
+            by_unit[comp.unit] += comp.clock_share
+        for unit, share in by_unit.items():
+            assert share == pytest.approx(1.0), unit
+
+
+class TestReport:
+    def test_requires_cycles(self, p9):
+        from repro.core.activity import ActivityCounters
+        with pytest.raises(ModelError):
+            EinspowerModel(p9).report(ActivityCounters())
+
+    def test_total_composition(self, p9, small_trace):
+        result = simulate(p9, small_trace)
+        report = EinspowerModel(p9).report(result.activity)
+        assert report.total_w > 0
+        assert report.total_w == pytest.approx(
+            report.dynamic_w + report.leakage_w + report.mma_leakage_w)
+
+    def test_active_excludes_static(self, p9, small_trace):
+        result = simulate(p9, small_trace)
+        report = EinspowerModel(p9).report(result.activity)
+        assert 0 < report.active_w < report.total_w
+
+    def test_categories_sum_to_dynamic(self, p10, small_trace):
+        result = simulate(p10, small_trace)
+        report = EinspowerModel(p10).report(result.activity)
+        cats = report.by_category()
+        assert sum(cats.values()) == pytest.approx(report.dynamic_w)
+
+    def test_by_unit_sums_to_dynamic(self, p10, small_trace):
+        result = simulate(p10, small_trace)
+        report = EinspowerModel(p10).report(result.activity)
+        assert sum(report.by_unit().values()) == pytest.approx(
+            report.dynamic_w)
+
+    def test_mma_gating_saves_power(self, p10, small_trace):
+        result = simulate(p10, small_trace)
+        model = EinspowerModel(p10)
+        on = model.report(result.activity, mma_powered=True)
+        off = model.report(result.activity, mma_powered=False)
+        assert off.total_w < on.total_w
+        assert off.mma_leakage_w == 0.0
+
+    def test_busy_workload_draws_more(self, p9, small_trace):
+        from repro.workloads import max_power_stressmark
+        model = EinspowerModel(p9)
+        idlelike = model.report(
+            simulate(p9, small_trace, warmup_fraction=0.2).activity)
+        stress = model.report(
+            simulate(p9, max_power_stressmark(2000),
+                     warmup_fraction=0.2).activity)
+        assert stress.total_w > idlelike.total_w
+
+    def test_p10_more_efficient_than_p9(self, p9, p10, small_trace):
+        r9 = simulate(p9, small_trace, warmup_fraction=0.3)
+        r10 = simulate(p10, small_trace, warmup_fraction=0.3)
+        w9 = EinspowerModel(p9).report(r9.activity).total_w
+        w10 = EinspowerModel(p10).report(r10.activity).total_w
+        assert (r10.ipc / w10) > (r9.ipc / w9)
+
+    def test_component_power_vector(self, p9, small_trace):
+        result = simulate(p9, small_trace)
+        vector = EinspowerModel(p9).component_power_vector(result.activity)
+        assert len(vector) == 39
+        assert all(v >= 0 for v in vector.values())

@@ -1,0 +1,109 @@
+"""Unit tests for the instruction-fusion engine."""
+
+import pytest
+
+from repro.core.fusion import (FUSION_EFFECTS, FusionEngine, FusionKind,
+                               classify_pair, concrete_pairs,
+                               registry_size)
+from repro.core.isa import Instruction, InstrClass
+
+
+def _fx(dest, *srcs):
+    return Instruction(iclass=InstrClass.FX, dests=(dest,), srcs=srcs)
+
+
+def _store(addr, size=8):
+    return Instruction(iclass=InstrClass.STORE, address=addr, size=size,
+                       srcs=(9,))
+
+
+class TestClassify:
+    def test_dependent_alu_pair(self):
+        assert classify_pair(_fx(3, 4), _fx(5, 3)) is FusionKind.DEP_ALU
+
+    def test_independent_alu_pair_not_fused(self):
+        assert classify_pair(_fx(3, 4), _fx(5, 6)) is None
+
+    def test_complex_alu_pair_not_fused(self):
+        # two-source producers/consumers are not simple fusable forms
+        assert classify_pair(_fx(3, 4, 5), _fx(6, 3, 7)) is None
+
+    def test_cmp_branch(self):
+        cmp_i = Instruction(iclass=InstrClass.CR, dests=(300,), srcs=(3,))
+        br = Instruction(iclass=InstrClass.BRANCH, srcs=(300,),
+                         taken=True, pc=0x4000, target=0x4100)
+        assert classify_pair(cmp_i, br) is FusionKind.CMP_BRANCH
+
+    def test_addi_load(self):
+        load = Instruction(iclass=InstrClass.LOAD, dests=(7,), srcs=(3,),
+                           address=0x1000, size=8)
+        assert classify_pair(_fx(3, 1), load) is FusionKind.ADDI_LOAD
+
+    def test_store_pair_consecutive(self):
+        kind = classify_pair(_store(0x1000), _store(0x1008))
+        assert kind is FusionKind.STORE_PAIR
+
+    def test_store_pair_nonconsecutive(self):
+        assert classify_pair(_store(0x1000), _store(0x1040)) is None
+
+    def test_store_pair_too_wide(self):
+        a = Instruction(iclass=InstrClass.VSX_STORE, address=0x1000,
+                        size=32, srcs=(64,))
+        b = Instruction(iclass=InstrClass.VSX_STORE, address=0x1020,
+                        size=32, srcs=(65,))
+        assert classify_pair(a, b) is None
+
+    def test_load_pair(self):
+        a = Instruction(iclass=InstrClass.LOAD, dests=(3,), srcs=(1,),
+                        address=0x2000, size=8)
+        b = Instruction(iclass=InstrClass.LOAD, dests=(4,), srcs=(1,),
+                        address=0x2008, size=8)
+        assert classify_pair(a, b) is FusionKind.LOAD_PAIR
+
+    def test_cross_thread_never_fuses(self):
+        a, b = _fx(3, 4), _fx(5, 3)
+        b.thread = 1
+        assert classify_pair(a, b) is None
+
+
+class TestRegistry:
+    def test_over_200_pairs(self):
+        # the paper: "Over 200 different pairs of instruction types"
+        assert registry_size() > 200
+
+    def test_every_kind_has_pairs_and_effect(self):
+        for kind in FusionKind:
+            assert concrete_pairs(kind)
+            assert kind in FUSION_EFFECTS
+
+    def test_store_pair_effect_saves_agen_and_queue(self):
+        effect = FUSION_EFFECTS[FusionKind.STORE_PAIR]
+        assert effect.single_agen and effect.single_storeq_entry
+
+
+class TestEngine:
+    def test_disabled_engine_never_fuses(self):
+        engine = FusionEngine(enabled=False)
+        effects = engine.apply([_fx(3, 4), _fx(5, 3)])
+        assert effects == [None, None]
+        assert engine.stats.fused == 0
+
+    def test_fusion_marks_second_instruction(self):
+        engine = FusionEngine(enabled=True)
+        group = [_fx(3, 4), _fx(5, 3)]
+        effects = engine.apply(group)
+        assert group[1].fused_with_prev
+        assert effects[1] is not None
+        assert engine.stats.by_kind[FusionKind.DEP_ALU] == 1
+
+    def test_fused_instruction_cannot_refuse(self):
+        engine = FusionEngine(enabled=True)
+        group = [_fx(3, 4), _fx(5, 3), _fx(6, 5)]
+        engine.apply(group)
+        # the third may not fuse with the already-fused second
+        assert not group[2].fused_with_prev
+
+    def test_fusion_rate(self):
+        engine = FusionEngine(enabled=True)
+        engine.apply([_fx(3, 4), _fx(5, 3)])
+        assert engine.stats.fusion_rate == 1.0

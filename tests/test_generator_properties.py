@@ -1,0 +1,91 @@
+"""Property-based tests on the workload generators and trace IO."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isa import InstrClass
+from repro.workloads import (WorkloadSpec, generate, load_trace,
+                             save_trace)
+from repro.workloads.chopstix import extract_proxies
+
+
+@st.composite
+def workload_specs(draw):
+    return WorkloadSpec(
+        name="prop",
+        instructions=draw(st.integers(min_value=500, max_value=3000)),
+        code_bytes=draw(st.sampled_from([4096, 16384, 65536])),
+        data_bytes=draw(st.sampled_from([32768, 262144, 1 << 20])),
+        stream_fraction=draw(st.floats(min_value=0.0, max_value=0.5)),
+        hot_fraction=draw(st.floats(min_value=0.1, max_value=0.5)),
+        branch_sites=draw(st.integers(min_value=4, max_value=200)),
+        seed=draw(st.integers(min_value=0, max_value=2 ** 31)))
+
+
+class TestGeneratorProperties:
+    @given(workload_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_every_trace_is_wellformed(self, spec):
+        trace = generate(spec)
+        assert len(trace) == spec.instructions
+        for instr in trace:
+            if instr.is_memory:
+                assert instr.address is not None and instr.size > 0
+            if instr.iclass.is_branch:
+                assert instr.target is not None or not instr.taken
+            assert instr.pc >= 0
+
+    @given(workload_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_generation_is_deterministic(self, spec):
+        a = generate(spec)
+        b = generate(spec)
+        assert [i.pc for i in a] == [i.pc for i in b]
+        assert [i.address for i in a] == [i.address for i in b]
+
+    @given(workload_specs(),
+           st.floats(min_value=0.2, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_proxy_weights_within_coverage(self, spec, coverage):
+        trace = generate(spec)
+        try:
+            proxies = extract_proxies(trace, coverage=coverage,
+                                      snippet_instructions=300,
+                                      loop_iterations=1)
+        except Exception:
+            return          # traces too fragmented to extract are fine
+        total = sum(p.weight for p in proxies)
+        assert 0 < total <= 1.0 + 1e-9
+        for proxy in proxies:
+            assert 0 < proxy.weight <= 1.0
+
+
+class TestTraceIOProperties:
+    @given(workload_specs())
+    @settings(max_examples=8, deadline=None)
+    def test_roundtrip_identity(self, spec):
+        import tempfile
+        from pathlib import Path
+        trace = generate(spec)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.trace"
+            save_trace(trace, path)
+            loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for a, b in zip(trace.instructions, loaded.instructions):
+            assert (a.iclass, a.pc, a.address, a.size, a.dests,
+                    a.srcs, a.taken, a.target, a.flops, a.thread) == \
+                   (b.iclass, b.pc, b.address, b.size, b.dests,
+                    b.srcs, b.taken, b.target, b.flops, b.thread)
+        return
+
+
+class TestMixCoverage:
+    def test_vsx_mix_generates_vector_ops(self):
+        spec = WorkloadSpec(
+            name="vec",
+            mix={InstrClass.FX: 0.4, InstrClass.VSX: 0.3,
+                 InstrClass.LOAD: 0.2, InstrClass.STORE: 0.1},
+            instructions=2000, seed=5)
+        mix = generate(spec).class_mix()
+        assert mix[InstrClass.VSX] > 0.2

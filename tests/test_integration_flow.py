@@ -1,0 +1,79 @@
+"""Integration test: the paper's methodology pipeline end to end.
+
+Exercises the Fig. 7/8/9 data flow: workload proxies -> timing model
+("RTLSim") -> Einspower/Powerminer -> APEX intervals -> M1-linked
+counter model -> power proxy -> WOF decision, all on the same traces.
+"""
+
+import pytest
+
+from repro.core import power9_config, power10_config
+from repro.core.pipeline import simulate
+from repro.pm import WofDesignPoint, WofGovernor
+from repro.power import (Apex, EinspowerModel, Powerminer,
+                         PowerProxyDesigner, build_training_set,
+                         fit_top_down, input_sweep)
+from repro.workloads import specint_proxies
+
+
+@pytest.fixture(scope="module")
+def proxies():
+    return specint_proxies(instructions=4000,
+                           names=["xz", "exchange2", "x264"])
+
+
+class TestMethodologyPipeline:
+    def test_full_flow(self, proxies):
+        p10 = power10_config()
+        reference = EinspowerModel(p10)
+
+        # 1. continuous characterization (Fig. 8): run every proxy,
+        #    produce power + switching reports
+        reports = []
+        for proxy in proxies:
+            result = simulate(p10, proxy, warmup_fraction=0.3)
+            reports.append(reference.report(result.activity))
+            switching = Powerminer(p10).report(result.activity)
+            assert 0 < switching.mean_clock_enable < 1
+        assert all(r.total_w > 0 for r in reports)
+
+        # 2. APEX accelerated characterization (Fig. 9) on one workload
+        apex_run = Apex(p10).run(proxies[0], interval_instructions=1500)
+        assert apex_run.intervals
+
+        # 3. M1-linked counter model (Fig. 11 flow)
+        training = build_training_set(p10, proxies)
+        errors = input_sweep(training, (2, 8))
+        assert errors[8] <= errors[2]
+
+        # 4. power proxy design (Fig. 15 flow)
+        designer = PowerProxyDesigner(p10)
+        feats, active, total = designer.characterize(proxies)
+        design = designer.select(feats, active, total, num_counters=8)
+        assert design.num_counters <= 8
+
+        # 5. WOF consumes the proxy estimate
+        governor = WofGovernor(p10, WofDesignPoint(
+            tdp_core_w=max(total) * 1.1,
+            rdp_core_w=max(total) * 1.2))
+        estimate = float(design.predict_total_w(feats)[0])
+        decision = governor.decide(proxies[0].name, estimate,
+                                   mma_idle=True)
+        assert decision.boost_ghz >= decision.nominal_ghz
+
+    def test_generation_comparison_flow(self, proxies):
+        """The paper's headline flow: same proxies on both cores."""
+        p9, p10 = power9_config(), power10_config()
+        perf, power = [], []
+        for proxy in proxies:
+            r9 = simulate(p9, proxy, warmup_fraction=0.3)
+            r10 = simulate(p10, proxy, warmup_fraction=0.3)
+            w9 = EinspowerModel(p9).report(r9.activity).total_w
+            w10 = EinspowerModel(p10).report(r10.activity).total_w
+            perf.append(r10.ipc / r9.ipc)
+            power.append(w10 / w9)
+        mean_perf = sum(perf) / len(perf)
+        mean_power = sum(power) / len(power)
+        assert mean_perf > 1.05
+        assert mean_power < 0.75
+        assert mean_perf / mean_power > 1.5

@@ -1,0 +1,90 @@
+"""Tests for trace serialization and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.pipeline import simulate
+from repro.errors import TraceError
+from repro.workloads import (daxpy_trace, load_trace, save_trace,
+                             specint_proxies)
+
+
+class TestTraceIO:
+    def test_roundtrip_preserves_instructions(self, tmp_path, daxpy):
+        path = tmp_path / "daxpy.trace"
+        save_trace(daxpy, path)
+        loaded = load_trace(path)
+        assert loaded.name == daxpy.name
+        assert len(loaded) == len(daxpy)
+        for a, b in zip(daxpy.instructions, loaded.instructions):
+            assert a.iclass == b.iclass
+            assert a.dests == b.dests and a.srcs == b.srcs
+            assert a.address == b.address and a.size == b.size
+            assert a.pc == b.pc and a.flops == b.flops
+
+    def test_roundtrip_simulates_identically(self, tmp_path, p10,
+                                             small_trace):
+        path = tmp_path / "t.trace"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        a = simulate(p10, small_trace)
+        b = simulate(p10, loaded)
+        assert a.cycles == b.cycles
+        assert a.activity.events == b.activity.events
+
+    def test_proxy_weight_preserved(self, tmp_path):
+        proxy = specint_proxies(instructions=3000, names=["xz"])[0]
+        path = tmp_path / "p.trace"
+        save_trace(proxy, path)
+        assert load_trace(path).weight == pytest.approx(proxy.weight)
+
+    def test_truncated_file_rejected(self, tmp_path, daxpy):
+        path = tmp_path / "x.trace"
+        save_trace(daxpy, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "v.trace"
+        path.write_text(json.dumps({"version": 99,
+                                    "instructions": 0}) + "\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        actions = [a for a in parser._subparsers._actions
+                   if hasattr(a, "choices") and a.choices][0]
+        assert set(actions.choices) >= {
+            "compare", "gemm", "ai", "depth", "derating", "wof",
+            "yield"}
+
+    def test_depth_command(self, capsys):
+        assert main(["depth"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out and "FO4" in out
+
+    def test_yield_command(self, capsys):
+        assert main(["yield", "--dies", "300"]) == 0
+        assert "yield" in capsys.readouterr().out
+
+    def test_gemm_command(self, capsys):
+        assert main(["gemm", "--k", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "POWER10 MMA" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,71 @@
+"""Extra coverage: OCC multi-tick behaviour, report formatting edges,
+BBV interval splitting and socket AI on both dtypes."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table
+from repro.core import power10_config
+from repro.pm import CoreTelemetry, OnChipController, WofDesignPoint, \
+    WofGovernor
+from repro.tracegen.bbv import split_intervals
+from repro.errors import TraceError
+
+
+class TestOccDynamics:
+    def _occ(self, p10, budget=20.0):
+        gov = WofGovernor(p10, WofDesignPoint(tdp_core_w=budget / 4,
+                                              rdp_core_w=budget / 3))
+        return OnChipController(gov, cores=4, socket_budget_w=budget)
+
+    def test_overload_throttles_down(self, p10):
+        occ = self._occ(p10)
+        hot = [CoreTelemetry(core_id=i, proxy_power_w=9.0)
+               for i in range(4)]
+        last = None
+        for _ in range(30):
+            last = occ.tick(hot)
+        assert min(last.core_duties.values()) < 1.0
+        assert last.frequency_ghz <= 4.0
+
+    def test_mma_wakes_on_activity(self, p10):
+        occ = self._occ(p10)
+        idle = [CoreTelemetry(core_id=i, proxy_power_w=2.0)
+                for i in range(4)]
+        for _ in range(3):
+            occ.tick(idle)
+        busy = [CoreTelemetry(core_id=i, proxy_power_w=3.0,
+                              mma_busy=True, wake_hint_seen=True)
+                for i in range(4)]
+        result = occ.tick(busy)
+        assert all(result.mma_powered.values())
+
+    def test_history_accumulates(self, p10):
+        occ = self._occ(p10)
+        telemetry = [CoreTelemetry(core_id=i, proxy_power_w=2.0)
+                     for i in range(4)]
+        for _ in range(5):
+            occ.tick(telemetry)
+        assert len(occ.history) == 5
+
+
+class TestReportEdges:
+    def test_int_and_string_cells(self):
+        text = format_table("t", ["a"], [[7], ["word"]])
+        assert "7" in text and "word" in text
+
+    def test_series_multiple(self):
+        text = format_series("s", {"x": [1.0], "y": [2.0]}, "i", [0])
+        assert "x" in text and "y" in text
+
+    def test_empty_rows_ok(self):
+        assert "t" in format_table("t", ["a", "b"], [])
+
+
+class TestBbvIntervals:
+    def test_split_counts(self, small_trace):
+        chunks = split_intervals(small_trace, 1000)
+        assert all(len(c) >= 500 for c in chunks)
+
+    def test_bad_interval(self, small_trace):
+        with pytest.raises(TraceError):
+            split_intervals(small_trace, 0)

@@ -1,0 +1,162 @@
+"""Tests for the power-management stack: WOF, throttling, DDS, OCC."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pm import (CoarseThrottle, CoreTelemetry, DigitalDroopSensor,
+                      FineGrainThrottle, MMAPowerGate, OnChipController,
+                      SupplyModel, WofDesignPoint, WofGovernor,
+                      run_throttled_current, simulate_droop)
+
+
+def _governor(p10, tdp=6.0):
+    return WofGovernor(p10, WofDesignPoint(tdp_core_w=tdp,
+                                           rdp_core_w=tdp * 1.1))
+
+
+class TestWof:
+    def test_light_workload_boosts(self, p10):
+        gov = _governor(p10)
+        decision = gov.decide("specint", 3.0)
+        assert decision.boost_ghz > decision.nominal_ghz
+
+    def test_heavy_workload_no_boost(self, p10):
+        gov = _governor(p10)
+        decision = gov.decide("stressmark", 6.0)
+        assert decision.boost_ghz <= decision.nominal_ghz + 1e-9
+
+    def test_deterministic(self, p10):
+        gov = _governor(p10)
+        a = gov.decide("w", 3.3)
+        b = gov.decide("w", 3.3)
+        assert a.boost_ghz == b.boost_ghz
+
+    def test_boost_respects_envelope(self, p10):
+        gov = _governor(p10)
+        decision = gov.decide("w", 4.0)
+        boosted = gov.power_at_boost(4.0, decision)
+        assert boosted <= gov.design.envelope_w * 1.02
+
+    def test_mma_gating_reclaims_leakage(self, p10):
+        gov = _governor(p10)
+        gated = gov.decide("w", 4.5, mma_idle=True)
+        ungated = gov.decide("w", 4.5, mma_idle=False)
+        assert gated.mma_gated
+        assert gated.reclaimed_leakage_w > 0
+        assert gated.boost_ghz >= ungated.boost_ghz
+
+    def test_cap_ratio(self, p10):
+        gov = _governor(p10, tdp=5.0)
+        assert gov.effective_capacitance_ratio(2.5) == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            gov.effective_capacitance_ratio(0)
+
+    def test_design_point_validation(self):
+        with pytest.raises(ModelError):
+            WofDesignPoint(tdp_core_w=0, rdp_core_w=5)
+
+
+class TestMMAPowerGate:
+    def test_powers_off_after_idle(self):
+        gate = MMAPowerGate(idle_cycles_before_off=1000)
+        gate.tick(600, mma_busy=False)
+        assert gate.powered
+        gate.tick(600, mma_busy=False)
+        assert not gate.powered
+
+    def test_hint_hides_wake_latency(self):
+        gate = MMAPowerGate(idle_cycles_before_off=100)
+        gate.tick(200, mma_busy=False)
+        gate.tick(10, mma_busy=True, wake_hint_seen=True)
+        assert gate.powered
+        assert gate.exposed_wake_cycles == 0
+
+    def test_cold_wake_pays_latency(self):
+        gate = MMAPowerGate(idle_cycles_before_off=100,
+                            wake_latency_cycles=64)
+        gate.tick(200, mma_busy=False)
+        gate.tick(10, mma_busy=True)
+        assert gate.exposed_wake_cycles == 64
+
+    def test_gated_cycles_accumulate(self):
+        gate = MMAPowerGate(idle_cycles_before_off=100)
+        gate.tick(200, mma_busy=False)
+        gate.tick(300, mma_busy=False)
+        assert gate.gated_cycles >= 300
+
+
+class TestFineGrainThrottle:
+    def test_settles_under_limit(self):
+        throttle = FineGrainThrottle(limit_w=4.0)
+        state = throttle.settle(open_loop_power_w=8.0)
+        assert state.power_estimate_w <= 4.0 * 1.1
+        assert state.duty < 1.0
+
+    def test_no_throttle_when_under_limit(self):
+        throttle = FineGrainThrottle(limit_w=5.0)
+        state = throttle.settle(open_loop_power_w=3.0)
+        assert state.duty == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FineGrainThrottle(limit_w=0)
+
+
+class TestDds:
+    def test_step_load_causes_droop(self):
+        # idle, then a sudden full-power step: classic di/dt event
+        currents = [1.0] * 200 + [30.0] * 200
+        _, flags, sensor = simulate_droop(currents)
+        assert any(flags)
+        assert sensor.events or sensor.tripped
+
+    def test_steady_load_no_droop(self):
+        currents = [10.0] * 400
+        _, flags, _ = simulate_droop(currents)
+        # the power-on transient settles; steady state never re-trips
+        assert not any(flags[200:])
+
+    def test_hysteresis_validation(self):
+        with pytest.raises(ModelError):
+            DigitalDroopSensor(trip_margin_mv=20, release_margin_mv=30)
+
+    def test_coarse_throttle_reduces_droop(self):
+        currents = ([1.0] * 150 + [30.0] * 150) * 2
+        v_open, _, _ = simulate_droop(list(currents))
+        sensor = DigitalDroopSensor()
+        supply = SupplyModel()
+        v_closed, duties = run_throttled_current(
+            list(currents), sensor, supply)
+        assert min(v_closed) > min(v_open) - 1.0
+        assert min(duties) < 1.0
+
+
+class TestCoarseThrottle:
+    def test_engage_and_release_profile(self):
+        throttle = CoarseThrottle(block_fraction=0.75, hold_cycles=4,
+                                  release_cycles=8)
+        assert throttle.tick(True) == pytest.approx(0.25)
+        levels = [throttle.tick(False) for _ in range(12)]
+        assert levels[-1] == pytest.approx(1.0)
+        assert throttle.engage_count == 1
+
+
+class TestOcc:
+    def test_loop_runs(self, p10):
+        gov = _governor(p10)
+        occ = OnChipController(gov, cores=4, socket_budget_w=24.0)
+        telemetry = [CoreTelemetry(core_id=i, proxy_power_w=3.0)
+                     for i in range(4)]
+        result = occ.tick(telemetry)
+        assert result.frequency_ghz > 0
+        assert set(result.core_duties) == {0, 1, 2, 3}
+        # MMA idle everywhere: eventually gated
+        for _ in range(3):
+            result = occ.tick(telemetry)
+        assert not all(result.mma_powered.values())
+
+    def test_telemetry_validation(self, p10):
+        occ = OnChipController(_governor(p10), cores=2,
+                               socket_budget_w=10.0)
+        with pytest.raises(ModelError):
+            occ.tick([CoreTelemetry(core_id=0, proxy_power_w=1.0)])

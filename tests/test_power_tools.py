@@ -1,0 +1,115 @@
+"""Tests for Powerminer, LFSR counters and APEX."""
+
+import pytest
+
+from repro.core.pipeline import simulate
+from repro.errors import ModelError
+from repro.power.apex import (Apex, apex_power_from_activity,
+                              compare_core_vs_chip,
+                              detailed_reference_power)
+from repro.power.einspower import EinspowerModel
+from repro.power.lfsr import LfsrBank, LfsrCounter, LfsrDecoder
+from repro.power.powerminer import Powerminer
+
+
+class TestPowerminer:
+    def test_report_structure(self, p9, small_trace):
+        result = simulate(p9, small_trace)
+        report = Powerminer(p9).report(result.activity)
+        assert set(report.units)
+        for unit in report.units.values():
+            assert 0.0 <= unit.clock_enable_fraction <= 1.0
+            assert unit.gating_fraction == pytest.approx(
+                1.0 - unit.clock_enable_fraction)
+
+    def test_p10_gates_harder(self, p9, p10, small_trace):
+        r9 = simulate(p9, small_trace)
+        r10 = simulate(p10, small_trace)
+        m9 = Powerminer(p9).report(r9.activity)
+        m10 = Powerminer(p10).report(r10.activity)
+        assert m10.mean_clock_enable < m9.mean_clock_enable
+
+    def test_ghost_tracks_config_factor(self, p9, p10, small_trace):
+        r = simulate(p9, small_trace)
+        g9 = Powerminer(p9).report(r.activity).total_ghost_per_cycle
+        r10 = simulate(p10, small_trace)
+        g10 = Powerminer(p10).report(r10.activity).total_ghost_per_cycle
+        assert g10 < g9
+
+    def test_flagging(self, p10, vsu_kernel):
+        result = simulate(p10, vsu_kernel)
+        report = Powerminer(p10).report(result.activity)
+        assert isinstance(report.flagged_ghost_units(0.01), list)
+
+
+class TestLfsr:
+    def test_roundtrip(self):
+        decoder = LfsrDecoder(8)
+        counter = LfsrCounter(8)
+        counter.tick(57)
+        assert decoder.decode(counter.state) == 57
+
+    def test_width_validation(self):
+        with pytest.raises(ModelError):
+            LfsrCounter(12)
+
+    def test_saturation_flag(self):
+        counter = LfsrCounter(8)
+        counter.tick(300)       # > 2^8 - 1 period
+        assert counter.saturated
+
+    def test_reset(self):
+        counter = LfsrCounter(8)
+        counter.tick(5)
+        counter.reset()
+        assert counter.state == 1 and not counter.saturated
+
+    def test_bank_extract_resets(self):
+        bank = LfsrBank(["a", "b"], width=8)
+        bank.record({"a": 10, "b": 3})
+        assert bank.extract() == {"a": 10, "b": 3}
+        assert bank.extract() == {"a": 0, "b": 0}
+
+    def test_bank_unknown_signal(self):
+        with pytest.raises(ModelError):
+            LfsrBank(["a"]).record({"z": 1})
+
+    def test_bank_requires_signals(self):
+        with pytest.raises(ModelError):
+            LfsrBank([])
+
+
+class TestApex:
+    def test_fast_path_matches_detailed(self, p9, small_trace):
+        # the paper: "identical accuracy", ~5000x faster
+        result = simulate(p9, small_trace)
+        fast = apex_power_from_activity(p9, result.activity)
+        slow = detailed_reference_power(p9, result.activity)
+        assert fast == pytest.approx(slow, rel=0.01)
+
+    def test_apex_run_intervals(self, p9, small_trace):
+        run = Apex(p9).run(small_trace, interval_instructions=1500)
+        assert len(run.intervals) == 4
+        assert run.total_power_w > 0
+        assert all(iv.power_w > 0 for iv in run.intervals)
+
+    def test_interval_validation(self, p9, small_trace):
+        with pytest.raises(ModelError):
+            Apex(p9).run(small_trace, interval_instructions=0)
+
+    def test_apex_total_close_to_einspower(self, p9, small_trace):
+        run = Apex(p9).run(small_trace, interval_instructions=3000)
+        result = simulate(p9, small_trace)
+        reference = EinspowerModel(p9).report(result.activity).total_w
+        assert run.total_power_w == pytest.approx(reference, rel=0.15)
+
+    def test_core_vs_chip_validation(self, p9, small_trace):
+        from repro.core import power9_config
+        core = power9_config(infinite_l2=True)
+        chip = power9_config()
+        with pytest.raises(ModelError):
+            compare_core_vs_chip(chip, chip, [small_trace])
+        with pytest.raises(ModelError):
+            compare_core_vs_chip(core, core, [small_trace])
+        points = compare_core_vs_chip(core, chip, [small_trace])
+        assert points[0]["core_ipc"] >= points[0]["chip_ipc"]

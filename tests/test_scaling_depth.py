@@ -1,0 +1,124 @@
+"""Tests for V/f scaling, the pipeline-depth study, the socket model
+and the simulator wrappers."""
+
+import pytest
+
+from repro.core import (POWER9_SOCKET, POWER10_SOCKET, compare_configs,
+                        power9_config, power10_config, precision_speedup,
+                        project_socket, simulate_suite, simulate_trace)
+from repro.core.socket import SocketConfig
+from repro.errors import ConfigError, ModelError, SimulationError
+from repro.power.pipeline_depth import (BASELINE_FO4, analyze_depth,
+                                        depth_study, optimal_fo4)
+from repro.power.scaling import (VFCurve, VFPoint,
+                                 apply_technology_scaling,
+                                 dynamic_power_scale, frequency_at_power)
+
+
+class TestVFCurve:
+    def test_voltage_monotone_in_frequency(self):
+        curve = VFCurve(VFPoint(4.0, 1.0))
+        assert curve.voltage_at(4.4) > curve.voltage_at(4.0) \
+            > curve.voltage_at(3.0)
+
+    def test_out_of_range(self):
+        curve = VFCurve(VFPoint(4.0, 1.0))
+        with pytest.raises(ModelError):
+            curve.voltage_at(10.0)
+
+    def test_dynamic_power_supralinear(self):
+        curve = VFCurve(VFPoint(4.0, 1.0))
+        scale = dynamic_power_scale(curve, 4.0, 4.4)
+        assert scale > 4.4 / 4.0        # V^2 effect on top of f
+
+    def test_frequency_at_power_inverts(self):
+        curve = VFCurve(VFPoint(4.0, 1.0))
+        freq = frequency_at_power(curve, 4.0, 1.2)
+        assert 4.0 < freq <= curve.fmax_ghz
+        assert dynamic_power_scale(curve, 4.0, freq) \
+            <= 1.2 + 1e-3
+
+    def test_no_headroom_returns_fmin_side(self):
+        curve = VFCurve(VFPoint(4.0, 1.0))
+        assert frequency_at_power(curve, 4.0, 0.1) == curve.fmin_ghz
+
+    def test_technology_scaling_reduces_power(self):
+        assert apply_technology_scaling(10.0) < 10.0
+
+
+class TestPipelineDepth:
+    def test_optimum_near_27_fo4(self):
+        curves = depth_study()
+        for budget, points in curves.items():
+            opt = optimal_fo4(points)
+            assert 23 <= opt <= 31, (budget, opt)
+
+    def test_power_limit_enforced(self):
+        points = analyze_depth(range(9, 46, 4), 0.5)
+        budget = analyze_depth([BASELINE_FO4], 1.0)[0].power_w * 0.5
+        for p in points:
+            assert p.power_w <= budget * 1.02
+
+    def test_deep_pipes_throttled(self):
+        points = analyze_depth([9, 27], 0.7)
+        deep, shallow = points[0], points[1]
+        assert deep.voltage_ratio < shallow.voltage_ratio
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            analyze_depth([27], 0.0)
+        with pytest.raises(ModelError):
+            optimal_fo4([])
+
+
+class TestSocket:
+    def test_projection(self):
+        proj = project_socket(POWER10_SOCKET, core_throughput=1.0,
+                              core_power_w=3.0)
+        assert proj.throughput == pytest.approx(60 * 1.1)
+        assert proj.power_w == pytest.approx(60 * 3.0 + 55.0)
+        assert proj.efficiency > 0
+
+    def test_socket_validation(self):
+        with pytest.raises(ConfigError):
+            SocketConfig(name="x", cores=0, core_power_w=1,
+                         uncore_power_w=1)
+
+    def test_socket_efficiency_story(self):
+        # per-core: POWER10 1.3x perf at 0.5x power; with 2.5x cores the
+        # socket-level efficiency lands "up to 3x" (Table I)
+        p9 = project_socket(POWER9_SOCKET, 1.0, 4.0)
+        p10 = project_socket(POWER10_SOCKET, 1.3, 2.0)
+        gain = p10.efficiency / p9.efficiency
+        assert 2.0 < gain < 3.5
+
+    def test_precision_speedups(self):
+        assert precision_speedup("fp32") == 1.0
+        assert precision_speedup("int8") == pytest.approx(2.12)
+        with pytest.raises(ConfigError):
+            precision_speedup("fp4")
+
+
+class TestSimulatorWrappers:
+    def test_simulate_trace_with_power(self, p10, daxpy):
+        run = simulate_trace(p10, daxpy)
+        assert run.power_w > 0
+        assert run.perf_per_watt > 0
+        assert run.energy_per_instruction_nj > 0
+
+    def test_simulate_trace_without_power(self, p10, daxpy):
+        run = simulate_trace(p10, daxpy, with_power=False)
+        assert run.power_w is None
+        with pytest.raises(SimulationError):
+            _ = run.perf_per_watt
+
+    def test_suite_aggregation(self, p9, mini_suite):
+        suite = simulate_suite(p9, mini_suite)
+        assert suite.mean_ipc > 0
+        assert suite.mean_power_w > 0
+        assert suite.total_instructions == sum(
+            len(t) for t in mini_suite)
+
+    def test_compare_configs(self, p9, p10, mini_suite):
+        results = compare_configs([p9, p10], mini_suite[:1])
+        assert results["POWER10"].mean_ipc > results["POWER9"].mean_ipc

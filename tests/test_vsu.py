@@ -1,0 +1,63 @@
+"""Unit tests for the VSX vector unit functional model."""
+
+import numpy as np
+import pytest
+
+from repro.core.vsu import (VSUnit, vector_fma_count_for_gemm, vsu_gemm)
+
+
+class TestVSUnit:
+    def test_load_read_roundtrip(self):
+        unit = VSUnit()
+        unit.load(3, [1.0, 2.0])
+        np.testing.assert_allclose(unit.read(3, lanes=2), [1.0, 2.0])
+
+    def test_splat(self):
+        unit = VSUnit()
+        unit.splat(5, 7.5)
+        np.testing.assert_allclose(unit.read(5), [7.5] * 4)
+
+    def test_fma(self):
+        unit = VSUnit()
+        unit.load(0, [1, 1, 1, 1])
+        unit.load(1, [2, 2, 2, 2])
+        unit.load(2, [3, 3, 3, 3])
+        unit.fma(0, 1, 2)
+        np.testing.assert_allclose(unit.read(0), [7, 7, 7, 7])
+        assert unit.instructions_executed == 1
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            VSUnit().load(64, [0, 0])
+
+    def test_bad_lane_count(self):
+        with pytest.raises(ValueError):
+            VSUnit().load(0, [1, 2, 3])
+
+
+class TestVsuGemm:
+    @pytest.mark.parametrize("shape", [(2, 2, 2), (4, 6, 5), (8, 8, 8)])
+    def test_matches_numpy(self, shape):
+        m, n, k = shape
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        np.testing.assert_allclose(vsu_gemm(a, b), a @ b, rtol=1e-10)
+
+    def test_fp32_lanes(self):
+        a = np.ones((4, 4))
+        b = np.ones((4, 4))
+        np.testing.assert_allclose(vsu_gemm(a, b, lanes=4), a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            vsu_gemm(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_fma_count_formula(self):
+        assert vector_fma_count_for_gemm(4, 8, 8, lanes=4) == 2 * 4 * 8
+
+    def test_instruction_count_matches_gemm(self):
+        unit = VSUnit()
+        vsu_gemm(np.ones((4, 4)), np.ones((4, 4)), lanes=2, unit=unit)
+        assert unit.instructions_executed == \
+            vector_fma_count_for_gemm(4, 4, 4, lanes=2)

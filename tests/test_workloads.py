@@ -1,0 +1,202 @@
+"""Tests for the workload generators (synthetic, SPEC, chopstix,
+kernels, GEMM traces, stressmarks)."""
+
+import pytest
+
+from repro.core.isa import InstrClass
+from repro.errors import TraceError
+from repro.workloads import (PROXY_COVERAGE, SPECINT_NAMES,
+                             SPECINT_PROFILES, WorkloadSpec,
+                             daxpy_trace, derating_suites,
+                             dgemm_mma_trace, dgemm_vsu_trace, extract_proxies,
+                             gemm_instruction_estimate, generate,
+                             max_power_stressmark, microbenchmark,
+                             profile_functions, specint_proxies,
+                             specint_suite, stream_triad_trace,
+                             suite_coverage)
+from repro.workloads.gemm import MmaKernelShape, VsuKernelShape
+from repro.workloads.spec import scaled_spec
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        spec = WorkloadSpec(name="d", instructions=2000, seed=5)
+        a, b = generate(spec), generate(spec)
+        assert [i.pc for i in a] == [i.pc for i in b]
+        assert [i.iclass for i in a] == [i.iclass for i in b]
+
+    def test_mix_respected(self):
+        spec = WorkloadSpec(name="m", instructions=20000, seed=6)
+        mix = generate(spec).class_mix()
+        assert abs(mix[InstrClass.LOAD] - spec.mix[InstrClass.LOAD]) < 0.02
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadSpec(name="bad", mix={InstrClass.FX: 0.5})
+
+    def test_memory_instructions_have_addresses(self, small_trace):
+        for instr in small_trace:
+            if instr.is_memory:
+                assert instr.address is not None
+
+    def test_branches_carry_outcomes(self, small_trace):
+        branches = [i for i in small_trace
+                    if i.iclass is InstrClass.BRANCH]
+        assert branches
+        assert any(b.taken for b in branches)
+        assert any(not b.taken for b in branches)
+
+
+class TestMicrobenchmark:
+    def test_dd0_is_serial_chain(self):
+        trace = microbenchmark("dd0", dependency_distance=0,
+                               instructions=100)
+        first = trace.instructions[0]
+        second = trace.instructions[1]
+        assert first.dests == second.srcs
+
+    def test_dd1_two_chains(self):
+        trace = microbenchmark("dd1", dependency_distance=1,
+                               instructions=100)
+        assert trace.instructions[0].dests != trace.instructions[1].srcs
+
+    def test_bad_dd(self):
+        with pytest.raises(TraceError):
+            microbenchmark("x", dependency_distance=3)
+
+    def test_bad_init(self):
+        with pytest.raises(TraceError):
+            microbenchmark("x", data_init="ones")
+
+    def test_derating_suites_grid(self):
+        suites = derating_suites(smt_levels=(1, 2), instructions=200)
+        names = {t.name for t in suites}
+        assert "st_dd0_random" in names
+        assert "smt2_dd1_zero" in names
+        assert len(suites) == 8
+
+
+class TestSpec:
+    def test_ten_benchmarks(self):
+        assert len(SPECINT_NAMES) == 10
+        assert "gcc" in SPECINT_NAMES and "xz" in SPECINT_NAMES
+
+    def test_suite_generation(self):
+        traces = specint_suite(instructions=1000, names=["mcf"])
+        assert len(traces) == 1 and len(traces[0]) == 1000
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            specint_suite(names=["doom"])
+
+    def test_scaled_spec_divides_footprints(self):
+        base = SPECINT_PROFILES["gcc"]
+        scaled = scaled_spec(base, instructions=500, footprint_scale=8)
+        assert scaled.code_bytes == base.code_bytes // 8
+        assert scaled.instructions == 500
+
+    def test_profiles_have_distinct_characters(self):
+        assert SPECINT_PROFILES["mcf"].pointer_chase_fraction > \
+            SPECINT_PROFILES["x264"].pointer_chase_fraction
+        assert SPECINT_PROFILES["gcc"].code_bytes > \
+            SPECINT_PROFILES["xz"].code_bytes
+
+
+class TestChopstix:
+    def test_profiles_rank_by_share(self, small_trace):
+        profiles = profile_functions(small_trace)
+        shares = [p.share for p in profiles]
+        assert shares == sorted(shares, reverse=True)
+        assert abs(sum(shares) - 1.0) < 1e-9
+
+    def test_extract_weights_and_coverage(self, small_trace):
+        proxies = extract_proxies(small_trace, coverage=0.8)
+        assert proxies
+        assert suite_coverage(proxies) <= 0.8 + max(
+            p.weight for p in proxies)
+
+    def test_proxies_are_l1_contained(self, small_trace):
+        proxies = extract_proxies(small_trace)
+        for proxy in proxies:
+            addresses = {i.address for i in proxy if i.address}
+            if addresses:
+                assert max(addresses) - min(addresses) < 64 * 1024
+
+    def test_bad_coverage(self, small_trace):
+        with pytest.raises(TraceError):
+            extract_proxies(small_trace, coverage=0.0)
+
+    def test_specint_proxies(self):
+        proxies = specint_proxies(instructions=3000, names=["xz"])
+        assert proxies
+        assert all(p.suite == "specint-proxy" for p in proxies)
+        assert suite_coverage(proxies) <= PROXY_COVERAGE["xz"] + 0.35
+
+
+class TestKernels:
+    def test_daxpy_shape(self):
+        trace = daxpy_trace(10)
+        mix = trace.class_mix()
+        assert mix[InstrClass.VSX_LOAD] == pytest.approx(2 / 6)
+
+    def test_scalar_daxpy(self):
+        trace = daxpy_trace(10, vectorized=False)
+        assert InstrClass.FP in trace.class_mix()
+
+    def test_stream_triad(self):
+        assert len(stream_triad_trace(10)) == 60
+
+    def test_bad_iterations(self):
+        with pytest.raises(TraceError):
+            daxpy_trace(0)
+
+
+class TestGemmTraces:
+    def test_vsu_trace_flops(self):
+        trace = dgemm_vsu_trace(10)
+        # mr x nr block, FMA = 2 FLOPs per fp64 lane: 64 FLOPs per k step
+        assert trace.total_flops() == 10 * 4 * 8 * 2
+
+    def test_mma_trace_uses_accumulators(self):
+        trace = dgemm_mma_trace(10)
+        mma_ops = [i for i in trace
+                   if i.iclass is InstrClass.MMA]
+        assert len(mma_ops) == 80
+        assert all(i.dests[0] >= 256 for i in mma_ops)
+        assert all(i.dests[0] in i.srcs for i in mma_ops)
+
+    def test_32byte_loads_respected(self):
+        trace = dgemm_mma_trace(5, max_load_bytes=32)
+        loads = [i for i in trace if i.iclass is InstrClass.VSX_LOAD]
+        assert all(l.size == 32 for l in loads)
+
+    def test_estimate_positive_and_monotonic(self):
+        small = gemm_instruction_estimate(64, 64, 64, dtype="fp32",
+                                          kernel="vsu")
+        big = gemm_instruction_estimate(128, 64, 64, dtype="fp32",
+                                        kernel="vsu")
+        assert 0 < small < big
+
+    def test_mma_needs_fewer_instructions(self):
+        vsu = gemm_instruction_estimate(256, 256, 256, dtype="fp32",
+                                        kernel="vsu")
+        mma = gemm_instruction_estimate(256, 256, 256, dtype="fp32",
+                                        kernel="mma")
+        assert mma < vsu / 3
+
+    def test_bad_kernel(self):
+        with pytest.raises(TraceError):
+            gemm_instruction_estimate(8, 8, 8, dtype="fp32",
+                                      kernel="gpu")
+
+
+class TestStressmark:
+    def test_includes_all_port_classes(self):
+        mix = max_power_stressmark(20).class_mix()
+        for iclass in (InstrClass.FX, InstrClass.VSX, InstrClass.LOAD,
+                       InstrClass.STORE):
+            assert iclass in mix
+
+    def test_mma_variant(self):
+        trace = max_power_stressmark(20, include_mma=True)
+        assert InstrClass.MMA in trace.class_mix()
