@@ -21,8 +21,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (analysis, core, pm, power, reliability, tracegen,
+from . import (analysis, core, obs, pm, power, reliability, tracegen,
                workloads)
 
-__all__ = ["analysis", "core", "pm", "power", "reliability", "tracegen",
-           "workloads", "__version__"]
+__all__ = ["analysis", "core", "obs", "pm", "power", "reliability",
+           "tracegen", "workloads", "__version__"]

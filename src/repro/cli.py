@@ -9,14 +9,33 @@ Commands:
 * ``depth``    — the Fig. 2 pipeline-depth study;
 * ``derating`` — the Fig. 13/14 SERMiner analysis;
 * ``wof``      — power-proxy design + WOF boost decisions;
-* ``yield``    — PFLY/CLY offering sweep.
+* ``yield``    — PFLY/CLY offering sweep;
+* ``trace``    — one fully-telemetered run (spans + interval samples).
+
+Every command accepts ``--telemetry-dir DIR``: the run then executes
+inside a :class:`repro.obs.export.TelemetrySession` and leaves
+``manifest.json``, ``metrics.json``, ``trace.json`` (Chrome/Perfetto
+trace) and ``samples.csv`` (cycle-interval telemetry) in DIR.
+``compare`` and ``gemm`` also take ``--json`` for machine-readable
+results on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+
+def _session_sampler(args: argparse.Namespace, config, trace):
+    """The session's shared sampler (with the run registered in the
+    manifest), or None when telemetry is off."""
+    session = getattr(args, "session", None)
+    if session is None:
+        return None
+    session.record_run(config, getattr(trace, "name", "?"))
+    return session.sampler
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -29,25 +48,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     proxies = specint_proxies(instructions=args.instructions)
     p9, p10 = power9_config(), power10_config()
     rows = []
+    proxies_out = []
     wsum = perf = power = 0.0
     for trace in proxies:
-        r9 = simulate(p9, trace, warmup_fraction=0.3)
-        r10 = simulate(p10, trace, warmup_fraction=0.3)
+        r9 = simulate(p9, trace, warmup_fraction=0.3,
+                      sampler=_session_sampler(args, p9, trace))
+        r10 = simulate(p10, trace, warmup_fraction=0.3,
+                       sampler=_session_sampler(args, p10, trace))
         w9 = EinspowerModel(p9).report(r9.activity).total_w
         w10 = EinspowerModel(p10).report(r10.activity).total_w
         wsum += trace.weight
         perf += trace.weight * r10.ipc / r9.ipc
         power += trace.weight * w10 / w9
+        proxies_out.append({
+            "proxy": trace.name, "weight": trace.weight,
+            "p9_ipc": r9.ipc, "p10_ipc": r10.ipc,
+            "p9_power_w": w9, "p10_power_w": w10,
+            "perf_ratio": r10.ipc / r9.ipc,
+            "power_ratio": w10 / w9})
         if args.verbose:
             rows.append([trace.name, f"{r9.ipc:.2f}", f"{r10.ipc:.2f}",
                          f"{r10.ipc / r9.ipc:.2f}x",
                          f"{w10 / w9:.2f}x"])
+    perf /= wsum
+    power /= wsum
+    if args.json:
+        print(json.dumps({
+            "command": "compare",
+            "instructions": args.instructions,
+            "proxies": proxies_out,
+            "aggregate": {"perf_ratio": perf, "power_ratio": power,
+                          "perf_per_watt_ratio": perf / power},
+            "paper": {"perf_ratio": 1.3, "power_ratio": 0.5,
+                      "perf_per_watt_ratio": 2.6},
+        }, indent=2))
+        return 0
     if rows:
         print(format_table("per-proxy results",
                            ["proxy", "P9 IPC", "P10 IPC", "perf",
                             "power"], rows))
-    perf /= wsum
-    power /= wsum
     print(f"POWER10 vs POWER9 (weighted over {len(proxies)} proxies): "
           f"{perf:.2f}x perf @ {power:.2f}x power -> "
           f"{perf / power:.2f}x perf/watt (paper: 1.3x @ 0.5x -> 2.6x)")
@@ -65,14 +104,26 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
             ("POWER10 VSU", p10, dgemm_vsu_trace(args.k)),
             ("POWER10 MMA", p10, dgemm_mma_trace(args.k))]
     base = None
+    kernels = []
     for name, config, trace in runs:
-        result = simulate(config, trace, warmup_fraction=0.25)
+        result = simulate(config, trace, warmup_fraction=0.25,
+                          sampler=_session_sampler(args, config, trace))
         watts = EinspowerModel(config).report(result.activity).total_w
         if base is None:
             base = (result.flops_per_cycle, watts)
-        print(f"{name:12s} {result.flops_per_cycle:6.2f} FLOPs/cyc "
-              f"({result.flops_per_cycle / base[0]:.2f}x)  "
-              f"{watts:.2f} W ({watts / base[1] - 1:+.1%})")
+        kernels.append({
+            "kernel": name,
+            "flops_per_cycle": result.flops_per_cycle,
+            "flops_ratio": result.flops_per_cycle / base[0],
+            "power_w": watts,
+            "power_ratio": watts / base[1]})
+        if not args.json:
+            print(f"{name:12s} {result.flops_per_cycle:6.2f} FLOPs/cyc "
+                  f"({result.flops_per_cycle / base[0]:.2f}x)  "
+                  f"{watts:.2f} W ({watts / base[1] - 1:+.1%})")
+    if args.json:
+        print(json.dumps({"command": "gemm", "k": args.k,
+                          "kernels": kernels}, indent=2))
     return 0
 
 
@@ -119,12 +170,17 @@ def _cmd_wof(args: argparse.Namespace) -> int:
     from .pm import WofDesignPoint, WofGovernor
     from .workloads import max_power_stressmark, specint_proxies
     config = power10_config()
-    stress = simulate_trace(config, max_power_stressmark(3000))
+    stressmark = max_power_stressmark(3000)
+    stress = simulate_trace(
+        config, stressmark,
+        sampler=_session_sampler(args, config, stressmark))
     governor = WofGovernor(config, WofDesignPoint(
         tdp_core_w=stress.power_w, rdp_core_w=stress.power_w * 1.1))
     for trace in specint_proxies(instructions=4000,
                                  names=["xz", "exchange2"]):
-        run = simulate_trace(config, trace)
+        run = simulate_trace(
+            config, trace,
+            sampler=_session_sampler(args, config, trace))
         decision = governor.decide(trace.name, run.power_w,
                                    mma_idle=True)
         print(f"{trace.name:16s} {run.power_w:.2f} W -> "
@@ -149,44 +205,140 @@ def _cmd_yield(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import power9_config, power10_config, simulate_trace
+    from .workloads import (daxpy_trace, dgemm_mma_trace,
+                            dgemm_vsu_trace, specint_proxies)
+
+    from .workloads.spec import SPECINT_NAMES
+
+    config = power9_config() if args.config == "power9" \
+        else power10_config()
+    if args.workload == "dgemm-mma":
+        trace = dgemm_mma_trace(max(1, args.instructions // 8))
+    elif args.workload == "dgemm-vsu":
+        trace = dgemm_vsu_trace(max(1, args.instructions // 8))
+    elif args.workload == "daxpy":
+        trace = daxpy_trace(args.instructions)
+    elif args.workload in SPECINT_NAMES:
+        trace = specint_proxies(instructions=args.instructions,
+                                names=[args.workload])[0]
+    else:
+        choices = ", ".join(("daxpy", "dgemm-vsu", "dgemm-mma")
+                            + SPECINT_NAMES)
+        print(f"error: unknown workload {args.workload!r} "
+              f"(choices: {choices})", file=sys.stderr)
+        return 2
+    run = simulate_trace(config, trace,
+                         sampler=_session_sampler(args, config, trace))
+    print(f"{trace.name} on {config.name}: IPC {run.ipc:.2f}, "
+          f"{run.power_w:.2f} W, {run.result.cycles} cycles")
+    session = getattr(args, "session", None)
+    if session is not None:
+        print(f"{len(session.sampler.samples)} interval samples "
+              f"({session.sampler.interval_cycles}-cycle target)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="capture telemetry (manifest, metrics, Chrome trace, "
+             "interval samples) into DIR")
+    telemetry.add_argument(
+        "--sample-interval", type=int, default=5000, metavar="CYCLES",
+        help="cycle-interval sampler granularity (default 5000)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="POWER10 energy-efficiency paper reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compare", help="P9 vs P10 on SPECint proxies")
+    p = sub.add_parser("compare", parents=[telemetry],
+                       help="P9 vs P10 on SPECint proxies")
     p.add_argument("--instructions", type=int, default=8000)
     p.add_argument("--verbose", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable results on stdout")
     p.set_defaults(func=_cmd_compare)
 
-    p = sub.add_parser("gemm", help="Fig. 5 DGEMM kernels")
+    p = sub.add_parser("gemm", parents=[telemetry],
+                       help="Fig. 5 DGEMM kernels")
     p.add_argument("--k", type=int, default=1500,
                    help="k-loop iterations")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable results on stdout")
     p.set_defaults(func=_cmd_gemm)
 
-    p = sub.add_parser("ai", help="Fig. 6 AI projections")
+    p = sub.add_parser("ai", parents=[telemetry],
+                       help="Fig. 6 AI projections")
     p.set_defaults(func=_cmd_ai)
 
-    p = sub.add_parser("depth", help="Fig. 2 pipeline depth study")
+    p = sub.add_parser("depth", parents=[telemetry],
+                       help="Fig. 2 pipeline depth study")
     p.set_defaults(func=_cmd_depth)
 
-    p = sub.add_parser("derating", help="Fig. 13/14 SERMiner")
+    p = sub.add_parser("derating", parents=[telemetry],
+                       help="Fig. 13/14 SERMiner")
     p.set_defaults(func=_cmd_derating)
 
-    p = sub.add_parser("wof", help="power proxy + WOF decisions")
+    p = sub.add_parser("wof", parents=[telemetry],
+                       help="power proxy + WOF decisions")
     p.set_defaults(func=_cmd_wof)
 
-    p = sub.add_parser("yield", help="PFLY/CLY offering sweep")
+    p = sub.add_parser("yield", parents=[telemetry],
+                       help="PFLY/CLY offering sweep")
     p.add_argument("--dies", type=int, default=2000)
     p.add_argument("--budget", type=float, default=130.0)
     p.set_defaults(func=_cmd_yield)
+
+    # 'trace' declares its own telemetry options (not the shared parent:
+    # set_defaults on a parented option would mutate the shared action's
+    # default and turn telemetry on for every other command too) so it
+    # can default to capturing.
+    p = sub.add_parser("trace", help="one fully-telemetered run")
+    p.add_argument("--telemetry-dir", default="telemetry-out",
+                   metavar="DIR",
+                   help="output directory (default telemetry-out/)")
+    p.add_argument("--sample-interval", type=int, default=5000,
+                   metavar="CYCLES")
+    p.add_argument("--workload", default="xz",
+                   help="SPECint proxy name, or daxpy / dgemm-vsu / "
+                        "dgemm-mma")
+    p.add_argument("--config", choices=["power9", "power10"],
+                   default="power10")
+    p.add_argument("--instructions", type=int, default=8000)
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    outdir = getattr(args, "telemetry_dir", None)
+    try:
+        if not outdir:
+            args.session = None
+            return args.func(args)
+
+        from .obs.export import TelemetrySession
+        session = TelemetrySession(
+            outdir, interval_cycles=args.sample_interval,
+            argv=list(argv) if argv is not None else None)
+        with session:
+            args.session = session
+            with session.tracer.span(f"cli.{args.command}", "cli"):
+                rc = args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if rc == 0:
+        print(f"telemetry written to {session.outdir}/: "
+              "manifest.json, metrics.json, trace.json, samples.csv",
+              file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

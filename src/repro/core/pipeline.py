@@ -22,9 +22,14 @@ from __future__ import annotations
 import heapq
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..errors import SimulationError
+from ..obs.metrics import get_registry as _obs_registry
+from ..obs.tracing import span as _obs_span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.sampler import CycleIntervalSampler
 from .activity import ActivityCounters
 from .branch import BranchUnit, make_branch_unit
 from .caches import CacheHierarchy
@@ -209,7 +214,8 @@ class CorePipeline:
 
 def simulate(config: CoreConfig, trace, *,
              max_instructions: Optional[int] = None,
-             warmup_fraction: float = 0.0) -> SimResult:
+             warmup_fraction: float = 0.0,
+             sampler: Optional["CycleIntervalSampler"] = None) -> SimResult:
     """Run one trace through a fresh core and return timing + activity.
 
     ``trace`` is a :class:`repro.workloads.trace.Trace` (or any object
@@ -220,7 +226,33 @@ def simulate(config: CoreConfig, trace, *,
     ``warmup_fraction`` excludes the leading fraction of the trace from
     the reported cycles/activity (caches and predictors stay warm), the
     moral equivalent of the paper's steady-state measurement windows.
+
+    ``sampler`` (a :class:`repro.obs.sampler.CycleIntervalSampler`)
+    receives interval snapshots of the activity stream as simulated time
+    advances — the OCC-style telemetry tap.  Sampling is observational:
+    results are identical with or without it.
     """
+    with _obs_span("pipeline.simulate", "core", config=config.name,
+                   trace=getattr(trace, "name", "?")) as sp:
+        result = _simulate(config, trace, max_instructions=max_instructions,
+                           warmup_fraction=warmup_fraction, sampler=sampler)
+        sp.set(cycles=result.cycles, instructions=result.instructions,
+               ipc=round(result.ipc, 4))
+        registry = _obs_registry()
+        registry.counter(
+            "repro_simulations_total",
+            "pipeline.simulate invocations").inc(config=config.name)
+        registry.counter(
+            "repro_simulated_instructions_total",
+            "instructions retired across all simulations").inc(
+                result.instructions, config=config.name)
+        return result
+
+
+def _simulate(config: CoreConfig, trace, *,
+              max_instructions: Optional[int],
+              warmup_fraction: float,
+              sampler: Optional["CycleIntervalSampler"]) -> SimResult:
     if not 0.0 <= warmup_fraction < 1.0:
         raise SimulationError("warmup_fraction must be in [0, 1)")
     core = CorePipeline(config)
@@ -265,6 +297,8 @@ def simulate(config: CoreConfig, trace, *,
     warmup_count = int(total * warmup_fraction)
     snap = None
     idx = 0
+    if sampler is not None:
+        sampler.begin(config, getattr(trace, "name", "?"))
     while idx < total:
         if snap is None and idx >= warmup_count and warmup_count:
             snap = (dict(act.events), front_cycle, last_retire_cycle,
@@ -478,9 +512,16 @@ def simulate(config: CoreConfig, trace, *,
 
             prev_l1d_access_skipped = fused and effect.single_agen
 
+        if sampler is not None:
+            sampler.observe(max(last_retire_cycle, front_cycle), act)
+
     act.events["prefetch_issued"] = core.hierarchy.prefetcher.issued
     act.events["prefetch_useful"] = core.hierarchy.prefetcher.useful
     cycles = max(last_retire_cycle, front_cycle) + 1
+    if sampler is not None:
+        # close the trailing partial interval on raw (pre-warmup-
+        # subtraction) counts; samples always cover the whole run
+        sampler.finalize(cycles, act)
     measured_instructions = len(instructions)
     if snap is not None:
         events0, front0, retire0, flushed0, mispred0, flops0, idx0 = snap
@@ -493,7 +534,7 @@ def simulate(config: CoreConfig, trace, *,
         measured_instructions = len(instructions) - idx0
     act.cycles = cycles
     act.instructions = measured_instructions
-    _derive_busy_cycles(act, core, cycles)
+    derive_busy_cycles(act, config, cycles)
 
     hier = core.hierarchy
     mpki = 1000.0 * mispredicts / measured_instructions
@@ -558,15 +599,15 @@ def _count_issue(act: ActivityCounters, instr: Instruction) -> None:
         act.count("mma_acc_access")
 
 
-def _derive_busy_cycles(act: ActivityCounters, core: CorePipeline,
-                        cycles: int) -> None:
+def derive_busy_cycles(act: ActivityCounters, cfg: CoreConfig,
+                       cycles: int) -> None:
     """Estimate per-unit busy cycles from event counts and port counts.
 
     Clock-gating modeling needs an occupancy per unit; for a scoreboard
     model the best deterministic estimate is events divided by ports,
-    capped at the run length.
+    capped at the run length.  Also used by the interval sampler to
+    derive per-interval utilizations from event deltas.
     """
-    cfg = core.config
     ev = act.events
 
     def busy(unit: str, count: float, ports: int = 1) -> None:

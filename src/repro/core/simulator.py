@@ -13,22 +13,42 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import SimulationError
+from ..obs.metrics import get_registry
+from ..obs.tracing import span as _obs_span
 from .config import CoreConfig
 from .pipeline import SimResult, simulate
 from .activity import ActivityCounters
 
 
 def simulate_trace(config: CoreConfig, trace, *,
-                   with_power: bool = True) -> "RunMeasurement":
-    """Simulate one trace; optionally attach an Einspower power report."""
-    result = simulate(config, trace)
-    power_w = None
-    breakdown = None
-    if with_power:
-        from ..power.einspower import EinspowerModel
-        report = EinspowerModel(config).report(result.activity)
-        power_w = report.total_w
-        breakdown = report
+                   with_power: bool = True,
+                   sampler=None) -> "RunMeasurement":
+    """Simulate one trace; optionally attach an Einspower power report.
+
+    ``sampler`` (a :class:`repro.obs.sampler.CycleIntervalSampler`) is
+    forwarded to the timing model for interval telemetry capture.
+    """
+    with _obs_span("simulator.simulate_trace", "core",
+                   config=config.name,
+                   trace=getattr(trace, "name", "?")) as sp:
+        result = simulate(config, trace, sampler=sampler)
+        power_w = None
+        breakdown = None
+        if with_power:
+            from ..power.einspower import EinspowerModel
+            report = EinspowerModel(config).report(result.activity)
+            power_w = report.total_w
+            breakdown = report
+            sp.set(power_w=round(power_w, 3))
+        registry = get_registry()
+        registry.counter(
+            "repro_runs_total",
+            "simulate_trace invocations").inc(
+                config=config.name, power=with_power)
+        registry.histogram(
+            "repro_run_seconds",
+            "wall time of simulate_trace").observe(
+                sp.duration_s, config=config.name)
     return RunMeasurement(result=result, power_w=power_w,
                           power_report=breakdown)
 
@@ -55,14 +75,17 @@ class RunMeasurement:
 
     @property
     def perf_per_watt(self) -> float:
-        if not self.power_w:
+        if self.power_w is None:
             raise SimulationError("run was measured without power")
+        if self.power_w == 0.0:
+            raise SimulationError(
+                "measured power is zero; perf/watt is undefined")
         return self.result.ipc / self.power_w
 
     @property
     def energy_per_instruction_nj(self) -> float:
         """nJ per completed instruction (power x time / instructions)."""
-        if not self.power_w:
+        if self.power_w is None:
             raise SimulationError("run was measured without power")
         freq_hz = 1e9 * _freq_of(self.result)
         seconds = self.result.cycles / freq_hz
@@ -120,9 +143,13 @@ class SuiteResult:
 
 
 def simulate_suite(config: CoreConfig, traces: Sequence,
-                   with_power: bool = True) -> SuiteResult:
-    """Run a whole trace suite and aggregate by trace weight."""
-    runs = [simulate_trace(config, t, with_power=with_power)
+                   with_power: bool = True, sampler=None) -> SuiteResult:
+    """Run a whole trace suite and aggregate by trace weight.
+
+    A shared ``sampler`` collects one telemetry segment per trace (run
+    labels distinguish them)."""
+    runs = [simulate_trace(config, t, with_power=with_power,
+                           sampler=sampler)
             for t in traces]
     weights = [getattr(t, "weight", 1.0) for t in traces]
     return SuiteResult(runs=runs, weights=weights)

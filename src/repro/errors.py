@@ -19,3 +19,8 @@ class ModelError(ReproError):
 
 class SimulationError(ReproError):
     """The core simulator entered an inconsistent state."""
+
+
+class TelemetryError(ReproError):
+    """The observability layer was misused (conflicting metric
+    registration, malformed sampler state, bad export target)."""

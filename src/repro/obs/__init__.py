@@ -1,0 +1,31 @@
+"""Observability: metrics, span tracing, interval sampling, exporters.
+
+The telemetry layer of the reproduction — the software counterpart of
+the paper's counter/telemetry infrastructure (performance counters
+feeding power models, the OCC's sampled power-proxy stream, Tracepoint
+windowed captures).  Four pieces:
+
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with a
+  process-current registry;
+* :mod:`repro.obs.tracing` — nested spans exportable as Chrome
+  ``trace_event`` JSON (Perfetto-loadable);
+* :mod:`repro.obs.sampler` — cycle-interval activity/proxy sampling of
+  simulator runs (Fig. 15-style time series);
+* :mod:`repro.obs.export` — JSON/CSV exporters plus per-run manifests.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_registry, set_registry)
+from .tracing import Span, Tracer, get_tracer, set_tracer, span
+from .sampler import CycleIntervalSampler, IntervalSample, proxy_series
+from .export import (TelemetrySession, config_fingerprint,
+                     samples_to_csv, write_json)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry",
+    "Span", "Tracer", "get_tracer", "set_tracer", "span",
+    "CycleIntervalSampler", "IntervalSample", "proxy_series",
+    "TelemetrySession", "config_fingerprint", "samples_to_csv",
+    "write_json",
+]

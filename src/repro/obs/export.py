@@ -1,0 +1,177 @@
+"""Exporters and run manifests.
+
+A telemetry-enabled run leaves four artifacts in its output directory:
+
+* ``manifest.json`` — provenance: package version, python/platform,
+  command line, config fingerprints of every simulated run, seeds where
+  known, wall-clock timings;
+* ``metrics.json``  — the metrics-registry snapshot;
+* ``trace.json``    — Chrome ``trace_event`` spans (open in Perfetto);
+* ``samples.csv``   — the cycle-interval sample series, one row per
+  interval with IPC, proxy power, and per-unit activity columns.
+
+:class:`TelemetrySession` bundles the lifecycle: it installs a fresh
+metrics registry and a recording tracer as the process-current ones,
+hands out the shared :class:`~repro.obs.sampler.CycleIntervalSampler`,
+and writes all four artifacts on exit.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.activity import UNIT_NAMES
+from ..errors import TelemetryError
+from .metrics import MetricsRegistry, set_registry
+from .sampler import CycleIntervalSampler, IntervalSample
+from .tracing import Tracer, set_tracer
+
+MANIFEST_SCHEMA = 1
+
+
+def config_fingerprint(config) -> str:
+    """Stable short hash of a (dataclass) configuration."""
+    try:
+        payload = dataclasses.asdict(config)
+    except TypeError:
+        payload = repr(config)
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def write_json(path, payload) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False,
+                               default=str) + "\n")
+    return path
+
+
+def samples_to_csv(samples: Sequence[IntervalSample], path) -> Path:
+    """One row per interval; fixed schema so downstream tooling can rely
+    on the columns."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    headers = (["run", "index", "cycle_start", "cycle_end", "cycles",
+                "instructions", "ipc", "proxy_w"]
+               + [f"util_{u}" for u in UNIT_NAMES])
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for s in samples:
+            writer.writerow(
+                [s.run, s.index, s.cycle_start, s.cycle_end, s.cycles,
+                 s.instructions, f"{s.ipc:.6f}", f"{s.proxy_w:.6f}"]
+                + [f"{s.unit_activity.get(u, 0.0):.6f}"
+                   for u in UNIT_NAMES])
+    return path
+
+
+class TelemetrySession:
+    """Scoped telemetry capture: registry + tracer + sampler + manifest.
+
+    Use as a context manager::
+
+        with TelemetrySession("out/") as session:
+            simulate(config, trace, sampler=session.sampler)
+        # out/ now holds manifest.json, metrics.json, trace.json,
+        # samples.csv
+
+    While the session is active its registry and tracer are the
+    process-current ones, so instrumented library code (simulator,
+    power models) reports into it without explicit plumbing.
+    """
+
+    def __init__(self, outdir, *, interval_cycles: int = 5000,
+                 argv: Optional[Sequence[str]] = None):
+        self.outdir = Path(outdir)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(enabled=True)
+        self.sampler = CycleIntervalSampler(interval_cycles)
+        self.argv = list(argv) if argv is not None else list(sys.argv[1:])
+        self.extra: Dict[str, object] = {}
+        self._runs: List[Dict[str, object]] = []
+        self._seen_configs: Dict[str, str] = {}
+        self._started: Optional[float] = None
+        self._prev_registry = None
+        self._prev_tracer = None
+        self.paths: Dict[str, Path] = {}
+
+    # ---- run registration ---------------------------------------------
+
+    def record_run(self, config, trace_name: str, **info: object) -> None:
+        """Note one simulated run (config fingerprint + metadata) for
+        the manifest."""
+        fp = config_fingerprint(config)
+        self._seen_configs[config.name] = fp
+        entry: Dict[str, object] = {"config": config.name,
+                                    "config_sha256": fp,
+                                    "trace": trace_name}
+        entry.update(info)
+        self._runs.append(entry)
+
+    # ---- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "TelemetrySession":
+        self._started = time.time()
+        self._epoch = time.perf_counter()
+        self._prev_registry = set_registry(self.registry)
+        self._prev_tracer = set_tracer(self.tracer)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_registry(self._prev_registry)
+        set_tracer(self._prev_tracer)
+        if exc_type is None:
+            self.finalize()
+
+    def manifest(self) -> Dict[str, object]:
+        from .. import __version__
+        elapsed = (time.perf_counter() - self._epoch) \
+            if self._started is not None else 0.0
+        top_spans = [
+            {"name": sp.name, "category": sp.category,
+             "duration_s": round(sp.duration_s, 6)}
+            for sp in self.tracer.spans if sp.depth == 0]
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "package": "repro",
+            "version": __version__,
+            "created_unix": self._started,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "argv": self.argv,
+            "interval_cycles": self.sampler.interval_cycles,
+            "configs": dict(sorted(self._seen_configs.items())),
+            "runs": self._runs,
+            "samples": len(self.sampler.samples),
+            "spans": len(self.tracer.spans),
+            "timings": {"elapsed_seconds": round(elapsed, 6),
+                        "top_level_spans": top_spans},
+            **self.extra,
+        }
+
+    def finalize(self) -> Dict[str, Path]:
+        """Write all artifacts; returns name -> path."""
+        if self._started is None:
+            raise TelemetryError("session was never entered")
+        self.outdir.mkdir(parents=True, exist_ok=True)
+        self.paths = {
+            "manifest": write_json(self.outdir / "manifest.json",
+                                   self.manifest()),
+            "metrics": write_json(self.outdir / "metrics.json",
+                                  self.registry.collect()),
+            "trace": write_json(self.outdir / "trace.json",
+                                self.tracer.to_chrome_trace()),
+            "samples": samples_to_csv(self.sampler.samples,
+                                      self.outdir / "samples.csv"),
+        }
+        return self.paths

@@ -1,0 +1,158 @@
+"""Span tracing with Chrome ``trace_event`` export.
+
+A :class:`Span` is one timed region of work (a ``simulate`` call, an
+Einspower report, a whole CLI command); spans nest lexically through the
+:meth:`Tracer.span` context manager.  A finished trace exports to the
+Chrome/Perfetto ``trace_event`` JSON format — open the file at
+``chrome://tracing`` or https://ui.perfetto.dev to see the run's time
+structure (every simulated window, every power-model evaluation) on a
+zoomable timeline.
+
+Instrumentation sites use the module-level :func:`span` helper, which
+routes through the *current* tracer.  The default tracer is disabled:
+spans still measure their own duration (so call sites can read
+``sp.duration_s``, e.g. APEX's ``elapsed_seconds``) but nothing is
+retained, keeping the overhead to two clock reads per span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed region.  ``duration_s`` is valid after the ``with``
+    block exits (and reads as time-so-far while still open)."""
+
+    __slots__ = ("name", "category", "args", "start_ns", "end_ns",
+                 "depth", "tid")
+
+    def __init__(self, name: str, category: str,
+                 args: Optional[Dict[str, object]] = None,
+                 depth: int = 0, tid: int = 0):
+        self.name = name
+        self.category = category
+        self.args: Dict[str, object] = args if args is not None else {}
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns: Optional[int] = None
+        self.depth = depth
+        self.tid = tid
+
+    def set(self, **args: object) -> None:
+        """Attach result attributes (shown in the trace viewer)."""
+        self.args.update(args)
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None \
+            else time.perf_counter_ns()
+        return end - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, cat={self.category!r}, "
+                f"dur={self.duration_s * 1e3:.3f}ms)")
+
+
+class Tracer:
+    """Collects finished spans; exports Chrome ``trace_event`` JSON."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._epoch_ns = time.perf_counter_ns()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro",
+             **args: object) -> Iterator[Span]:
+        if not self.enabled:
+            sp = Span(name, category)
+            try:
+                yield sp
+            finally:
+                sp.end_ns = time.perf_counter_ns()
+            return
+        stack = self._stack()
+        sp = Span(name, category, dict(args) or None,
+                  depth=len(stack), tid=threading.get_ident())
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end_ns = time.perf_counter_ns()
+            stack.pop()
+            with self._lock:
+                self._spans.append(sp)
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The ``{"traceEvents": [...]}`` document Perfetto loads.
+
+        Spans become ``ph: "X"`` (complete) events; timestamps are
+        microseconds relative to tracer creation.
+        """
+        events: List[Dict[str, object]] = []
+        tid_alias: Dict[int, int] = {}
+        for sp in sorted(self.spans, key=lambda s: s.start_ns):
+            tid = tid_alias.setdefault(sp.tid, len(tid_alias) + 1)
+            event: Dict[str, object] = {
+                "name": sp.name,
+                "cat": sp.category,
+                "ph": "X",
+                "ts": (sp.start_ns - self._epoch_ns) / 1e3,
+                "dur": sp.duration_ns / 1e3,
+                "pid": 1,
+                "tid": tid,
+            }
+            if sp.args:
+                event["args"] = dict(sp.args)
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+_default_tracer = Tracer(enabled=False)
+_current_tracer = _default_tracer
+
+
+def get_tracer() -> Tracer:
+    """The process-current tracer (disabled default unless a telemetry
+    session has installed a recording one)."""
+    return _current_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as current (None restores the disabled
+    default); returns the previously current tracer."""
+    global _current_tracer
+    previous = _current_tracer
+    _current_tracer = tracer if tracer is not None else _default_tracer
+    return previous
+
+
+def span(name: str, category: str = "repro", **args: object):
+    """Open a span on the current tracer (the one instrumentation
+    sites should use)."""
+    return _current_tracer.span(name, category, **args)

@@ -9,7 +9,7 @@ exceed their share, and manages MMA power gating.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Sequence
 
 from ..errors import ModelError
 from .throttle import FineGrainThrottle
@@ -24,6 +24,19 @@ class CoreTelemetry:
     proxy_power_w: float
     mma_busy: bool = False
     wake_hint_seen: bool = False
+
+    @classmethod
+    def from_sample(cls, sample, core_id: int = 0) -> "CoreTelemetry":
+        """Build one tick's telemetry from a sampler interval
+        (:class:`repro.obs.sampler.IntervalSample`): the proxy reading
+        is the interval's proxy power, MMA busyness comes from the
+        interval's MMA issue activity, and accumulator moves act as the
+        wake hint (they precede MMA bursts)."""
+        events = getattr(sample, "events", None) or {}
+        return cls(core_id=core_id,
+                   proxy_power_w=sample.proxy_w,
+                   mma_busy=events.get("issue_mma", 0) > 0,
+                   wake_hint_seen=events.get("mma_move", 0) > 0)
 
 
 @dataclass
@@ -81,3 +94,24 @@ class OnChipController:
             mma_powered=powered)
         self.history.append(result)
         return result
+
+    def run_from_samples(
+            self, per_core_samples: Mapping[int, Sequence]) \
+            -> List[OccTickResult]:
+        """Drive the control loop from measured sampler series instead
+        of synthetic telemetry: one
+        :class:`repro.obs.sampler.IntervalSample` sequence per core,
+        one tick per aligned interval (truncated to the shortest
+        series)."""
+        if set(per_core_samples) != set(range(self.cores)):
+            raise ModelError(
+                f"need sample series for cores 0..{self.cores - 1}")
+        ticks = min(len(s) for s in per_core_samples.values())
+        results: List[OccTickResult] = []
+        for t in range(ticks):
+            telemetry = [
+                CoreTelemetry.from_sample(per_core_samples[i][t],
+                                          core_id=i)
+                for i in range(self.cores)]
+            results.append(self.tick(telemetry))
+        return results

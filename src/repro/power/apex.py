@@ -23,7 +23,6 @@ speedup ratio.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -33,6 +32,7 @@ from ..core.activity import ActivityCounters, EVENT_NAMES
 from ..core.config import CoreConfig
 from ..core.pipeline import simulate
 from ..errors import ModelError
+from ..obs.tracing import span as _obs_span
 from .einspower import EinspowerModel
 from .lfsr import LfsrBank
 
@@ -93,41 +93,46 @@ class Apex:
         """Characterize a workload with interval-batched extraction."""
         if interval_instructions <= 0:
             raise ModelError("interval must be positive")
-        t0 = time.perf_counter()
-        bank = LfsrBank(self.signals)
-        intervals: List[ApexInterval] = []
-        windows = trace.windows(interval_instructions)
-        total_cycles = 0
-        total_instr = 0
-        energy_weighted = 0.0
-        for i, window in enumerate(windows):
-            result = simulate(self.config, window,
-                              warmup_fraction=warmup_fraction)
-            act = result.activity
-            bank.record({ev: act.events[ev] for ev in self.signals})
-            counts = bank.extract()
-            utils = {u: act.utilization(u)
-                     for u in act.unit_busy_cycles}
-            power = _interval_power_w(self.config, counts,
-                                      act.cycles, utils)
-            intervals.append(ApexInterval(
-                index=i, instructions=act.instructions,
-                cycles=act.cycles, counts=counts, power_w=power,
-                ipc=act.ipc))
-            total_cycles += act.cycles
-            total_instr += act.instructions
-            energy_weighted += power * act.cycles
-        if not intervals:
-            raise ModelError("trace produced no intervals")
-        return ApexRun(
-            workload=getattr(trace, "name", "?"),
-            config_name=self.config.name,
-            intervals=intervals,
-            total_power_w=energy_weighted / total_cycles,
-            total_ipc=total_instr / total_cycles,
-            elapsed_seconds=time.perf_counter() - t0,
-            metadata={"interval_instructions": interval_instructions,
-                      "chip_model": not self.config.hierarchy.infinite_l2})
+        with _obs_span("apex.run", "power",
+                       workload=getattr(trace, "name", "?"),
+                       config=self.config.name,
+                       interval_instructions=interval_instructions) as sp:
+            bank = LfsrBank(self.signals)
+            intervals: List[ApexInterval] = []
+            windows = trace.windows(interval_instructions)
+            total_cycles = 0
+            total_instr = 0
+            energy_weighted = 0.0
+            for i, window in enumerate(windows):
+                result = simulate(self.config, window,
+                                  warmup_fraction=warmup_fraction)
+                act = result.activity
+                bank.record({ev: act.events[ev] for ev in self.signals})
+                counts = bank.extract()
+                utils = {u: act.utilization(u)
+                         for u in act.unit_busy_cycles}
+                power = _interval_power_w(self.config, counts,
+                                          act.cycles, utils)
+                intervals.append(ApexInterval(
+                    index=i, instructions=act.instructions,
+                    cycles=act.cycles, counts=counts, power_w=power,
+                    ipc=act.ipc))
+                total_cycles += act.cycles
+                total_instr += act.instructions
+                energy_weighted += power * act.cycles
+            if not intervals:
+                raise ModelError("trace produced no intervals")
+            sp.set(intervals=len(intervals))
+            return ApexRun(
+                workload=getattr(trace, "name", "?"),
+                config_name=self.config.name,
+                intervals=intervals,
+                total_power_w=energy_weighted / total_cycles,
+                total_ipc=total_instr / total_cycles,
+                elapsed_seconds=sp.duration_s,
+                metadata={"interval_instructions": interval_instructions,
+                          "chip_model":
+                          not self.config.hierarchy.infinite_l2})
 
 
 def apex_power_from_activity(config: CoreConfig,

@@ -27,6 +27,8 @@ from typing import Dict, Mapping
 from ..core.activity import ActivityCounters
 from ..core.config import CoreConfig
 from ..errors import ModelError
+from ..obs.metrics import get_registry
+from ..obs.tracing import span as _obs_span
 from .components import COMPONENTS, Component
 
 
@@ -103,6 +105,19 @@ class EinspowerModel:
                mma_powered: bool = True) -> PowerReport:
         if activity.cycles <= 0:
             raise ModelError("activity has no cycles; run a simulation")
+        with _obs_span("einspower.report", "power",
+                       config=self.config.name,
+                       cycles=activity.cycles) as sp:
+            report = self._report(activity, mma_powered=mma_powered)
+            sp.set(total_w=round(report.total_w, 3))
+        get_registry().histogram(
+            "repro_power_eval_seconds",
+            "wall time of Einspower report evaluations").observe(
+                sp.duration_s, config=self.config.name)
+        return report
+
+    def _report(self, activity: ActivityCounters, *,
+                mma_powered: bool) -> PowerReport:
         pcfg = self.config.power
         runtime_ns = activity.cycles / pcfg.frequency_ghz
         floor = pcfg.gating_floor
