@@ -8,6 +8,7 @@ and EXPERIMENTS.md can quote it directly.
 from __future__ import annotations
 
 from typing import List, Mapping, Sequence
+from ..errors import AnalysisError
 
 
 def format_table(title: str, headers: Sequence[str],
@@ -16,7 +17,7 @@ def format_table(title: str, headers: Sequence[str],
     cols = len(headers)
     for row in rows:
         if len(row) != cols:
-            raise ValueError("row width does not match headers")
+            raise AnalysisError("row width does not match headers")
     cells = [[str(h) for h in headers]] + \
             [[_fmt(v) for v in row] for row in rows]
     widths = [max(len(r[c]) for r in cells) for c in range(cols)]

@@ -10,7 +10,9 @@ Commands:
 * ``derating`` — the Fig. 13/14 SERMiner analysis;
 * ``wof``      — power-proxy design + WOF boost decisions;
 * ``yield``    — PFLY/CLY offering sweep;
-* ``trace``    — one fully-telemetered run (spans + interval samples).
+* ``trace``    — one fully-telemetered run (spans + interval samples);
+* ``lint``     — static analysis proving the event/energy/determinism
+  contracts (rules R001–R006, see :mod:`repro.lint`).
 
 Every command accepts ``--telemetry-dir DIR``: the run then executes
 inside a :class:`repro.obs.export.TelemetrySession` and leaves
@@ -240,6 +242,63 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .errors import LintError
+    from .lint import (Baseline, DEFAULT_BASELINE_NAME, LintEngine,
+                       Severity, apply_fixes, render_json, render_text)
+
+    engine = LintEngine()
+    threshold = Severity.parse(args.min_severity)
+    source_root = engine.package_root.parent      # parent of repro/
+
+    def run_lint():
+        paths = [Path(p) for p in args.paths] if args.paths else None
+        return engine.run(paths)
+
+    result = run_lint()
+
+    # --- baseline resolution -------------------------------------------
+    baseline = None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None and not args.no_baseline:
+        for candidate in (Path.cwd() / DEFAULT_BASELINE_NAME,
+                          source_root.parent / DEFAULT_BASELINE_NAME):
+            if candidate.is_file():
+                baseline_path = candidate
+                break
+    if args.write_baseline:
+        target = baseline_path or Path.cwd() / DEFAULT_BASELINE_NAME
+        Baseline.from_findings(
+            result.findings,
+            justification="TODO: justify or fix").save(target)
+        print(f"wrote {len(result.findings)} finding(s) to {target}")
+        return 0
+    if baseline_path is not None and not args.no_baseline:
+        if not baseline_path.is_file():
+            raise LintError(f"baseline not found: {baseline_path}")
+        baseline = Baseline.load(baseline_path)
+
+    # --- safe autofixes ------------------------------------------------
+    if args.fix:
+        fixed = apply_fixes(result.findings, source_root)
+        if fixed:
+            print(f"fixed {len(fixed)} finding(s) in place",
+                  file=sys.stderr)
+            result = run_lint()      # re-lint the rewritten tree
+
+    if baseline is not None:
+        result.findings, result.baselined = \
+            baseline.split(result.findings)
+
+    if args.format == "json":
+        print(render_json(result, threshold=threshold))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.count_at_least(threshold) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     telemetry = argparse.ArgumentParser(add_help=False)
     telemetry.add_argument(
@@ -310,6 +369,33 @@ def build_parser() -> argparse.ArgumentParser:
                    default="power10")
     p.add_argument("--instructions", type=int, default=8000)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: prove the event/energy/determinism "
+             "contracts (R001-R006)")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files/directories to lint "
+                        "(default: the repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file of grandfathered findings "
+                        "(default: lint-baseline.json if present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write current findings to the baseline file "
+                        "and exit 0")
+    p.add_argument("--fix", action="store_true",
+                   help="apply safe automatic fixes "
+                        "(bare except: -> except Exception:)")
+    p.add_argument("--min-severity", default="warning",
+                   choices=["info", "warning", "error"],
+                   help="lowest severity that fails the run "
+                        "(default warning)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list baselined findings")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

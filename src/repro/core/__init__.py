@@ -2,7 +2,8 @@
 branch predictors, caches, MMU, fusion, the MMA/VSU functional units and
 the out-of-order timing model."""
 
-from .activity import ActivityCounters, EVENT_NAMES, UNIT_NAMES
+from .activity import (ActivityCounters, EVENT_NAMES, UNIT_NAMES,
+                       set_strict_default)
 from .config import (CoreConfig, FEATURE_NAMES, apply_features,
                      power9_config, power10_config)
 from .isa import Instruction, InstrClass

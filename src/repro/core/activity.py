@@ -9,14 +9,22 @@ single interface between the performance substrate and every power tool
 in :mod:`repro.power`.
 
 Events are plain string keys.  The canonical event list lives in
-``EVENT_NAMES``; counting an unknown event raises, which catches typos in
-the pipeline model early.
+``EVENT_NAMES``.  In *strict* mode (``strict=True``, enabled across the
+test suite and settable process-wide via :func:`set_strict_default`)
+counting an unknown event or unit raises
+:class:`~repro.errors.SimulationError`, catching typos in the pipeline
+model early; in non-strict mode unknown names are accumulated under the
+given key so ad-hoc extensions don't crash, but no power component will
+ever charge them — ``repro lint`` rule R001 catches literal typos
+statically either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping
+
+from ..errors import SimulationError
 
 # Canonical activity events.  Each maps to one component in
 # repro.power.components; the mapping itself lives there so the timing
@@ -87,6 +95,24 @@ UNIT_NAMES = (
     "prefetch", "l2", "l3", "completion",
 )
 
+_UNIT_SET = frozenset(UNIT_NAMES)
+
+# Process-wide default for ActivityCounters.strict.  The test suite
+# turns this on (tests/conftest.py) so any typo'd event that slips past
+# the static R001 check still fails loudly at runtime.
+_STRICT_DEFAULT = False
+
+
+def set_strict_default(value: bool) -> bool:
+    """Set the process default for ``ActivityCounters.strict``.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _STRICT_DEFAULT
+    previous = _STRICT_DEFAULT
+    _STRICT_DEFAULT = bool(value)
+    return previous
+
 
 @dataclass
 class ActivityCounters:
@@ -98,19 +124,35 @@ class ActivityCounters:
         default_factory=lambda: dict.fromkeys(EVENT_NAMES, 0))
     unit_busy_cycles: Dict[str, int] = field(
         default_factory=lambda: dict.fromkeys(UNIT_NAMES, 0))
+    strict: bool = field(default_factory=lambda: _STRICT_DEFAULT)
 
     def count(self, event: str, n: int = 1) -> None:
         if event not in _EVENT_SET:
-            raise KeyError(f"unknown activity event: {event!r}")
+            if self.strict:
+                raise SimulationError(
+                    f"unknown activity event: {event!r} (not in "
+                    f"repro.core.activity.EVENT_NAMES)")
+            self.events[event] = self.events.get(event, 0) + n
+            return
         self.events[event] += n
 
     def busy(self, unit: str, cycles: int = 1) -> None:
-        if unit not in self.unit_busy_cycles:
-            raise KeyError(f"unknown unit: {unit!r}")
+        if unit not in _UNIT_SET:
+            if self.strict:
+                raise SimulationError(
+                    f"unknown unit: {unit!r} (not in "
+                    f"repro.core.activity.UNIT_NAMES)")
+            self.unit_busy_cycles[unit] = \
+                self.unit_busy_cycles.get(unit, 0) + cycles
+            return
         self.unit_busy_cycles[unit] += cycles
 
     def utilization(self, unit: str) -> float:
         """Fraction of run cycles the unit was doing useful work."""
+        if unit not in self.unit_busy_cycles:
+            if self.strict:
+                raise SimulationError(f"unknown unit: {unit!r}")
+            return 0.0
         if self.cycles <= 0:
             return 0.0
         return min(1.0, self.unit_busy_cycles[unit] / self.cycles)
@@ -120,9 +162,10 @@ class ActivityCounters:
         self.cycles += other.cycles
         self.instructions += other.instructions
         for key, val in other.events.items():
-            self.events[key] += val
+            self.events[key] = self.events.get(key, 0) + val
         for key, val in other.unit_busy_cycles.items():
-            self.unit_busy_cycles[key] += val
+            self.unit_busy_cycles[key] = \
+                self.unit_busy_cycles.get(key, 0) + val
 
     def as_vector(self, names: Iterable[str]) -> List[float]:
         """Event counts in a fixed order, for regression model features."""

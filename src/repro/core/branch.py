@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .isa import Instruction, InstrClass
+from ..errors import ConfigError, SimulationError
 
 
 class DirectionPredictor:
@@ -35,7 +36,7 @@ class BimodalPredictor(DirectionPredictor):
 
     def __init__(self, entries: int = 16384):
         if entries <= 0 or entries & (entries - 1):
-            raise ValueError("entries must be a positive power of two")
+            raise ConfigError("entries must be a positive power of two")
         self._mask = entries - 1
         self._table = [2] * entries     # weakly taken
 
@@ -53,7 +54,7 @@ class GSharePredictor(DirectionPredictor):
 
     def __init__(self, entries: int = 16384, history_bits: int = 12):
         if entries <= 0 or entries & (entries - 1):
-            raise ValueError("entries must be a positive power of two")
+            raise ConfigError("entries must be a positive power of two")
         self._mask = entries - 1
         self._table = [2] * entries
         self._hist_mask = (1 << history_bits) - 1
@@ -205,7 +206,7 @@ class IndirectPredictor:
     def __init__(self, entries: int = 512, use_history: bool = False,
                  history_bits: int = 8):
         if entries <= 0 or entries & (entries - 1):
-            raise ValueError("entries must be a positive power of two")
+            raise ConfigError("entries must be a positive power of two")
         self._mask = entries - 1
         self._targets: List[Optional[int]] = [None] * entries
         self._use_history = use_history
@@ -257,7 +258,7 @@ class BranchUnit:
     def process(self, instr: Instruction) -> bool:
         """Predict and train on one branch; returns True on mispredict."""
         if not instr.iclass.is_branch:
-            raise ValueError("process() requires a branch instruction")
+            raise SimulationError("process() requires a branch instruction")
         if instr.iclass is InstrClass.BRANCH_IND:
             self.stats.indirect_lookups += 1
             predicted = self.indirect.predict(instr.pc, instr.thread)
@@ -291,4 +292,4 @@ def make_branch_unit(kind: str, scale: int = 1) -> BranchUnit:
             TagePredictor(base_entries=16384 * scale,
                           table_entries=2048 * scale),
             IndirectPredictor(entries=1024 * scale, use_history=True))
-    raise ValueError(f"unknown branch unit kind: {kind!r}")
+    raise ConfigError(f"unknown branch unit kind: {kind!r}")

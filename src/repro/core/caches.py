@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
+from ..errors import ConfigError
 
 LINE_BYTES = 64
 
@@ -35,7 +36,7 @@ class CacheGeometry:
 
     def __post_init__(self) -> None:
         if self.size_bytes % (self.associativity * self.line_bytes):
-            raise ValueError("cache size must be a whole number of sets")
+            raise ConfigError("cache size must be a whole number of sets")
 
     @property
     def num_sets(self) -> int:

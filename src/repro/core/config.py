@@ -29,7 +29,7 @@ KIB = 1024
 MIB = 1024 * KIB
 
 
-@dataclass
+@dataclass(frozen=True)
 class FrontEndConfig:
     """Fetch/decode stage parameters."""
 
@@ -45,7 +45,7 @@ class FrontEndConfig:
     wrong_path_fill: float = 0.55
 
 
-@dataclass
+@dataclass(frozen=True)
 class IssueConfig:
     """Out-of-order window and execution resources (per SMT4 half-core)."""
 
@@ -66,7 +66,7 @@ class IssueConfig:
     mma_ops_per_cycle: int = 1  # 512-bit outer products accepted per cycle
 
 
-@dataclass
+@dataclass(frozen=True)
 class LSUConfig:
     """Load/store unit and queues."""
 
@@ -79,7 +79,7 @@ class LSUConfig:
     max_access_bytes: int       # 16B on POWER9, 32B on POWER10
 
 
-@dataclass
+@dataclass(frozen=True)
 class MMUConfig:
     erat_entries: int
     tlb_entries: int
@@ -105,7 +105,7 @@ class EnergyTable:
                             for k, v in self.per_event_pj.items()})
 
 
-@dataclass
+@dataclass(frozen=True)
 class PowerConfig:
     """Clock-tree/latch, leakage and per-event energy parameters."""
 
@@ -127,7 +127,7 @@ class PowerConfig:
     ghost_factor: float = 0.15
 
 
-@dataclass
+@dataclass(frozen=True)
 class CoreConfig:
     """Complete configuration of one modeled core."""
 

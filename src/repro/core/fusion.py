@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .isa import Instruction, InstrClass
+from ..errors import ConfigError
 
 
 class FusionKind(enum.Enum):
@@ -143,7 +144,7 @@ def concrete_pairs(kind: FusionKind) -> List[Tuple[str, str]]:
         return [(p, q) for p in _ALU_PRODUCERS[:8] for q in _ALU_PRODUCERS[:8]]
     if kind is FusionKind.OP_CR:
         return [(p, c) for p in _ALU_PRODUCERS[:6] for c in _CR_OPS]
-    raise ValueError(f"unknown kind {kind}")
+    raise ConfigError(f"unknown kind {kind}")
 
 
 def registry_size() -> int:

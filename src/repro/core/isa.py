@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
+from ..errors import TraceError
 
 
 class InstrClass(enum.Enum):
@@ -138,10 +139,10 @@ class Instruction:
 
     def __post_init__(self) -> None:
         if self.iclass.is_memory and self.address is None:
-            raise ValueError(
+            raise TraceError(
                 f"memory instruction {self.iclass} requires an address")
         if self.iclass.is_memory and self.size <= 0:
-            raise ValueError("memory instruction requires a positive size")
+            raise TraceError("memory instruction requires a positive size")
 
     @property
     def is_memory(self) -> bool:

@@ -102,7 +102,7 @@ class MMAUnit:
 
     def _check_acc(self, acc: int) -> None:
         if not 0 <= acc < NUM_ACCUMULATORS:
-            raise ValueError(f"accumulator index out of range: {acc}")
+            raise SimulationError(f"accumulator index out of range: {acc}")
 
     # -- architected operations -------------------------------------------
     def xxsetaccz(self, acc: int) -> None:
@@ -116,7 +116,7 @@ class MMAUnit:
         self._check_power()
         self._check_acc(acc)
         if tile.shape != (4, 4):
-            raise ValueError("accumulator tile must be 4x4")
+            raise SimulationError("accumulator tile must be 4x4")
         self._acc[acc] = tile.astype(np.float64, copy=True)
 
     def xxmfacc(self, acc: int) -> np.ndarray:
@@ -135,7 +135,7 @@ class MMAUnit:
         self._check_power()
         self._check_acc(acc)
         if dtype not in GEOMETRY:
-            raise ValueError(f"unsupported MMA dtype: {dtype!r}")
+            raise SimulationError(f"unsupported MMA dtype: {dtype!r}")
         geom = GEOMETRY[dtype]
         x = np.atleast_2d(np.asarray(x, dtype=_DTYPES[dtype]))
         y = np.atleast_2d(np.asarray(y, dtype=_DTYPES[dtype]))
@@ -144,11 +144,11 @@ class MMAUnit:
         if y.shape == (1, geom.cols) and geom.rank == 1:
             y = y.T
         if x.shape != (geom.rows, geom.rank):
-            raise ValueError(
+            raise SimulationError(
                 f"x must be {(geom.rows, geom.rank)} for {dtype}, "
                 f"got {x.shape}")
         if y.shape != (geom.cols, geom.rank):
-            raise ValueError(
+            raise SimulationError(
                 f"y must be {(geom.cols, geom.rank)} for {dtype}, "
                 f"got {y.shape}")
         update = x.astype(np.float64) @ y.astype(np.float64).T
@@ -168,7 +168,7 @@ def mma_gemm(a: np.ndarray, b: np.ndarray, dtype: str = "fp32",
     in :mod:`repro.workloads.gemm` against real numerics.
     """
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError("incompatible GEMM shapes")
+        raise SimulationError("incompatible GEMM shapes")
     geom = GEOMETRY[dtype]
     unit = unit or MMAUnit()
     m, k = a.shape

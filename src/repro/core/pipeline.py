@@ -24,7 +24,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..obs.metrics import get_registry as _obs_registry
 from ..obs.tracing import span as _obs_span
 
@@ -53,7 +53,7 @@ class _Ring:
 
     def __init__(self, capacity: int):
         if capacity <= 0:
-            raise ValueError("capacity must be positive")
+            raise ConfigError("capacity must be positive")
         self.capacity = capacity
         self._releases: List[int] = []
         self._head = 0
@@ -86,7 +86,7 @@ class _Pool:
 
     def __init__(self, capacity: int):
         if capacity <= 0:
-            raise ValueError("capacity must be positive")
+            raise ConfigError("capacity must be positive")
         self.capacity = capacity
         self._heap: List[int] = []
 
@@ -114,7 +114,7 @@ class _Ports:
 
     def __init__(self, count: int, initiation_interval: int = 1):
         if count <= 0:
-            raise ValueError("port count must be positive")
+            raise ConfigError("port count must be positive")
         self.count = count
         self.interval = initiation_interval
         self._occ: Dict[int, int] = {}

@@ -105,9 +105,9 @@ class SuiteResult:
 
     def __post_init__(self) -> None:
         if len(self.runs) != len(self.weights):
-            raise ValueError("runs and weights must align")
+            raise SimulationError("runs and weights must align")
         if not self.runs:
-            raise ValueError("empty suite result")
+            raise SimulationError("empty suite result")
 
     @property
     def mean_ipc(self) -> float:

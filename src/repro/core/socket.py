@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from ..errors import ConfigError
 
 
-@dataclass
+@dataclass(frozen=True)
 class SocketConfig:
     """Socket composition for one generation."""
 

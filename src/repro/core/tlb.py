@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from ..errors import ConfigError
 
 PAGE_BYTES = 4096
 
@@ -28,7 +29,7 @@ class TranslationResult:
 class _LruTable:
     def __init__(self, entries: int):
         if entries <= 0:
-            raise ValueError("entries must be positive")
+            raise ConfigError("entries must be positive")
         self.entries = entries
         self._table: OrderedDict = OrderedDict()
         self.lookups = 0

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from ..errors import SimulationError
 
 VSR_BITS = 128
 FP64_LANES = 2
@@ -26,14 +27,14 @@ class VSUnit:
 
     def _check(self, idx: int) -> None:
         if not 0 <= idx < 64:
-            raise ValueError(f"VSR index out of range: {idx}")
+            raise SimulationError(f"VSR index out of range: {idx}")
 
     def load(self, idx: int, values: np.ndarray) -> None:
         """lxv: load a full 128-bit VSR (given as lane values)."""
         self._check(idx)
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size not in (FP64_LANES, FP32_LANES):
-            raise ValueError("lane count must be 2 (fp64) or 4 (fp32)")
+            raise SimulationError("lane count must be 2 (fp64) or 4 (fp32)")
         self._vsrs[idx, :] = 0.0
         self._vsrs[idx, :values.size] = values
 
@@ -66,7 +67,7 @@ def vsu_gemm(a: np.ndarray, b: np.ndarray, lanes: int = FP64_LANES,
     :mod:`repro.workloads.gemm` models for the VSU variant in Fig. 5.
     """
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError("incompatible GEMM shapes")
+        raise SimulationError("incompatible GEMM shapes")
     unit = unit or VSUnit()
     m, k = a.shape
     _, n = b.shape

@@ -24,3 +24,12 @@ class SimulationError(ReproError):
 class TelemetryError(ReproError):
     """The observability layer was misused (conflicting metric
     registration, malformed sampler state, bad export target)."""
+
+
+class AnalysisError(ReproError):
+    """Analysis/reporting helpers were fed inconsistent data."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass could not run (unreadable source,
+    missing contract tables, malformed baseline file)."""

@@ -1,0 +1,42 @@
+"""Model-aware static analysis for the reproduction (``repro lint``).
+
+The paper's methodology is bookkeeping discipline: Einspower and the
+counter-based power models are only trustworthy because every latch and
+activity event is accounted to exactly one of 39 components and the
+activity streams are complete and reproducible (§III-D).  This package
+proves those contracts without running a simulation:
+
+=====  ==================================================================
+R001   event/unit string literals resolve to EVENT_NAMES / UNIT_NAMES
+R002   the 39-component inventory partitions the event space
+R003   model code is deterministic (no clocks / unseeded RNG / set order)
+R004   library code raises the repro.errors taxonomy
+R005   config dataclasses are frozen; no mutable default arguments
+R006   obs metric names are declared once in WELL_KNOWN_METRICS
+=====  ==================================================================
+
+Run ``repro lint`` from the CLI, or programmatically::
+
+    from repro.lint import LintEngine
+    result = LintEngine().run()
+    for finding in result.findings:
+        print(finding.path, finding.line, finding.message)
+"""
+
+from .baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from .engine import LintEngine, ParsedModule, Rule, default_rules, register
+from .findings import Finding, LintResult, Severity, fingerprint
+from .fixes import apply_fixes
+from .model_facts import (ComponentDecl, ModelFacts,
+                          EXPECTED_COMPONENT_COUNT, load_model_facts)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME",
+    "LintEngine", "ParsedModule", "Rule", "default_rules", "register",
+    "Finding", "LintResult", "Severity", "fingerprint",
+    "apply_fixes",
+    "ComponentDecl", "ModelFacts", "EXPECTED_COMPONENT_COUNT",
+    "load_model_facts",
+    "render_json", "render_text",
+]

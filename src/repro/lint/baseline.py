@@ -1,0 +1,105 @@
+"""Baseline (grandfathering) support.
+
+A baseline file records findings that are acknowledged and deliberately
+kept, each with a one-line justification.  Matching is by fingerprint
+(rule + path + message), so a baselined finding stays suppressed while
+the offending construct is unchanged, and resurfaces the moment its
+message (event name, class name, ...) changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    message: str = ""
+    justification: str = ""
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path,
+                "fingerprint": self.fingerprint, "message": self.message,
+                "justification": self.justification}
+
+
+class Baseline:
+    """A set of grandfathered findings keyed by fingerprint."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_fp = {e.fingerprint: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._by_fp
+
+    def split(self, findings: Sequence[Finding],
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (fresh, baselined)."""
+        fresh, matched = [], []
+        for finding in findings:
+            (matched if finding in self else fresh).append(finding)
+        return fresh, matched
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      justification: str = "grandfathered") -> "Baseline":
+        return cls(BaselineEntry(rule=f.rule, path=f.path,
+                                 fingerprint=f.fingerprint,
+                                 message=f.message,
+                                 justification=justification)
+                   for f in findings)
+
+    # -- file IO --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(
+                f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) \
+                or raw.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {path}: expected version {BASELINE_VERSION}")
+        entries = []
+        for item in raw.get("entries", []):
+            try:
+                entries.append(BaselineEntry(
+                    rule=item["rule"], path=item["path"],
+                    fingerprint=item["fingerprint"],
+                    message=item.get("message", ""),
+                    justification=item.get("justification", "")))
+            except (KeyError, TypeError) as exc:
+                raise LintError(
+                    f"baseline {path}: malformed entry {item!r}") from exc
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro.lint",
+            "entries": [e.as_dict() for e in sorted(
+                self.entries, key=lambda e: (e.path, e.rule,
+                                             e.fingerprint))],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")

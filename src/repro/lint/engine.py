@@ -1,0 +1,209 @@
+"""The lint engine: file walking, parsing, rule dispatch, suppression.
+
+The engine is deliberately dumb: it parses every Python file once,
+hands the AST to each registered rule, and collects findings.  All
+repo-specific knowledge lives in :mod:`repro.lint.rules`; all contract
+tables live in :mod:`repro.lint.model_facts`.
+
+Suppression works at two levels:
+
+* inline — a ``# repro-lint: disable=R001`` (or ``disable=all``)
+  comment on the offending line silences that line;
+* baseline — a committed ``lint-baseline.json`` grandfathers known
+  findings by fingerprint (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import LintError
+from .findings import Finding, LintResult, Severity
+from .model_facts import ModelFacts, load_model_facts
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str            # package-relative, forward slashes
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``title``/``severity`` and override
+    :meth:`check_module` (runs per file) and/or :meth:`check_project`
+    (runs once per engine run, for whole-tree contracts like the
+    component partition).
+    """
+
+    id: str = "R000"
+    title: str = ""
+    severity: Severity = Severity.WARNING
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return True
+
+    def check_module(self, module: ParsedModule,
+                     facts: ModelFacts) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, facts: ModelFacts,
+                      modules: Sequence[ParsedModule]) -> Iterable[Finding]:
+        return ()
+
+    # -- helpers shared by subclasses -----------------------------------
+
+    def finding(self, module_or_path, line: int, col: int, message: str,
+                *, severity: Optional[Severity] = None,
+                fixable: bool = False) -> Finding:
+        path = module_or_path.relpath \
+            if isinstance(module_or_path, ParsedModule) else module_or_path
+        return Finding(rule=self.id,
+                       severity=severity or self.severity,
+                       path=path, line=line, col=col, message=message,
+                       fixable=fixable)
+
+
+_RULE_REGISTRY: List[type] = []
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule to the default rule set."""
+    _RULE_REGISTRY.append(cls)
+    return cls
+
+
+def default_rules() -> List[Rule]:
+    # importing the rules module populates the registry
+    from . import rules as _rules  # noqa: F401
+    return [cls() for cls in _RULE_REGISTRY]
+
+
+def _suppressed(finding: Finding, module: ParsedModule) -> bool:
+    match = _DISABLE_RE.search(module.line_text(finding.line))
+    if not match:
+        return False
+    tokens = {t.strip().upper() for t in match.group(1).split(",")}
+    return "ALL" in tokens or finding.rule.upper() in tokens
+
+
+class LintEngine:
+    """Run a rule set over a tree rooted at the ``repro`` package."""
+
+    def __init__(self, package_root: Optional[Path] = None,
+                 rules: Optional[Sequence[Rule]] = None,
+                 facts: Optional[ModelFacts] = None):
+        if package_root is None:
+            package_root = Path(__file__).resolve().parent.parent
+        self.package_root = Path(package_root)
+        self.rules = list(rules) if rules is not None else default_rules()
+        self._facts = facts
+
+    @property
+    def facts(self) -> ModelFacts:
+        if self._facts is None:
+            self._facts = load_model_facts(self.package_root)
+        return self._facts
+
+    # -- parsing --------------------------------------------------------
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            rel = path.resolve().relative_to(
+                self.package_root.resolve().parent)
+        except ValueError:
+            rel = path.resolve()   # outside the source tree: keep it
+        return rel.as_posix()
+
+    def parse_file(self, path: Path) -> ParsedModule:
+        source = Path(path).read_text(encoding="utf-8")
+        return self.parse_source(source, self._relpath(Path(path)),
+                                 path=Path(path))
+
+    def parse_source(self, source: str, relpath: str,
+                     path: Optional[Path] = None) -> ParsedModule:
+        tree = ast.parse(source, filename=relpath)
+        return ParsedModule(path=path or Path(relpath), relpath=relpath,
+                            source=source, lines=source.splitlines(),
+                            tree=tree)
+
+    # -- running --------------------------------------------------------
+
+    def _check_module(self, module: ParsedModule) -> List[Finding]:
+        found: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check_module(module, self.facts):
+                if not _suppressed(finding, module):
+                    found.append(finding)
+        return found
+
+    def lint_source(self, source: str, relpath: str) -> List[Finding]:
+        """Lint one in-memory module (per-module rules only).
+
+        The virtual ``relpath`` controls path-scoped rules, so tests can
+        exercise e.g. the determinism rule with
+        ``relpath="repro/core/fixture.py"``.
+        """
+        return self._check_module(self.parse_source(source, relpath))
+
+    def run(self, paths: Optional[Sequence[Path]] = None) -> LintResult:
+        """Lint files/directories (default: the whole package)."""
+        result = LintResult()
+        try:
+            self.facts
+        except LintError as exc:
+            result.findings.append(Finding(
+                rule="R000", severity=Severity.ERROR, path="<contracts>",
+                line=1, col=0,
+                message=f"cannot load model contracts: {exc}"))
+            return result
+
+        files: List[Path] = []
+        for entry in (paths or [self.package_root]):
+            entry = Path(entry)
+            if entry.is_dir():
+                files.extend(sorted(entry.rglob("*.py")))
+            else:
+                files.append(entry)
+
+        modules: List[ParsedModule] = []
+        for path in files:
+            try:
+                module = self.parse_file(path)
+            except SyntaxError as exc:
+                result.findings.append(Finding(
+                    rule="R000", severity=Severity.ERROR,
+                    path=self._relpath(path), line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}"))
+                continue
+            except OSError as exc:
+                raise LintError(f"cannot read {path}: {exc}") from exc
+            modules.append(module)
+            result.findings.extend(self._check_module(module))
+        result.files_checked = len(modules)
+
+        for rule in self.rules:
+            result.findings.extend(rule.check_project(self.facts, modules))
+        result.findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.rule))
+        return result

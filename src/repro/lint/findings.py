@@ -1,0 +1,86 @@
+"""Finding and severity primitives for the static-analysis pass.
+
+A :class:`Finding` is one rule violation anchored at ``path:line:col``.
+Findings carry a stable *fingerprint* (rule + path + message, no line
+numbers) so a committed baseline survives unrelated edits to the same
+file: moving code around does not resurrect grandfathered findings, but
+changing the offending construct itself does.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity; exit-code thresholds compare on the int value."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(  # grandfathered in lint-baseline.json
+                f"unknown severity {text!r}; "
+                f"choose from {[s.name.lower() for s in cls]}") from None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+def fingerprint(rule: str, path: str, message: str) -> str:
+    """Stable identity of a finding, independent of line numbers."""
+    digest = hashlib.sha256(
+        f"{rule}|{path}|{message}".encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str                    # e.g. "R001"
+    severity: Severity
+    path: str                    # package-relative, e.g. repro/core/x.py
+    line: int
+    col: int
+    message: str
+    fixable: bool = False        # a safe automatic rewrite exists
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.rule, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fixable": self.fixable,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one engine run produced."""
+
+    findings: list = field(default_factory=list)       # unsuppressed
+    baselined: list = field(default_factory=list)      # matched baseline
+    files_checked: int = 0
+
+    def worst(self) -> int:
+        return max((f.severity for f in self.findings), default=0)
+
+    def count_at_least(self, threshold: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity >= threshold)

@@ -1,0 +1,53 @@
+"""Automatic fixes for the (few) findings with a provably safe rewrite.
+
+Only mechanical, semantics-preserving-or-strengthening rewrites belong
+here; today that is exactly one: ``except:`` -> ``except Exception:``
+(strictly narrower — stops swallowing KeyboardInterrupt/SystemExit).
+Everything else the linter reports needs human judgment.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+
+_BARE_EXCEPT_RE = re.compile(r"(?P<head>\bexcept)\s*:")
+
+
+def fix_bare_except(line: str) -> str:
+    """Rewrite ``except:`` to ``except Exception:`` on one line."""
+    return _BARE_EXCEPT_RE.sub(r"\g<head> Exception:", line, count=1)
+
+
+def apply_fixes(findings: Sequence[Finding],
+                root: Path) -> List[Finding]:
+    """Apply safe fixes in place; returns the findings actually fixed.
+
+    ``root`` is the directory the package-relative finding paths are
+    anchored at (the parent of the ``repro`` package).
+    """
+    by_file: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.fixable:
+            by_file.setdefault(finding.path, []).append(finding)
+
+    fixed: List[Finding] = []
+    for relpath, file_findings in sorted(by_file.items()):
+        path = Path(root) / relpath
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        changed = False
+        for finding in file_findings:
+            idx = finding.line - 1
+            if not 0 <= idx < len(lines):
+                continue
+            new = fix_bare_except(lines[idx])
+            if new != lines[idx]:
+                lines[idx] = new
+                fixed.append(finding)
+                changed = True
+        if changed:
+            path.write_text("".join(lines), encoding="utf-8")
+    return fixed

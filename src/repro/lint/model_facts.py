@@ -1,0 +1,190 @@
+"""Static extraction of the model's bookkeeping contracts.
+
+The rules in :mod:`repro.lint.rules` cross-check source code against
+three ground-truth tables:
+
+* ``EVENT_NAMES`` / ``UNIT_NAMES`` in ``repro/core/activity.py``,
+* the :class:`~repro.power.components.Component` inventory and
+  ``CATEGORIES`` in ``repro/power/components.py``,
+* ``WELL_KNOWN_METRICS`` in ``repro/obs/metrics.py``.
+
+Crucially the tables are recovered by *parsing* those modules, not by
+importing them: ``components.py`` validates its own inventory at import
+time, so a broken partition would crash the very tool meant to report
+it.  Parsing keeps the linter usable on any tree a human can save.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..errors import LintError
+
+# Section III-D: "39 components were defined and a counter-based power
+# model was implemented for each of them."
+EXPECTED_COMPONENT_COUNT = 39
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    """One ``Component(...)`` declaration as written in source."""
+
+    name: str
+    unit: str
+    category: str
+    events: Tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class ModelFacts:
+    """The contract tables, plus source anchors for findings."""
+
+    event_names: Tuple[str, ...]
+    unit_names: Tuple[str, ...]
+    categories: Tuple[str, ...]
+    components: Tuple[ComponentDecl, ...]
+    metric_decls: Dict[str, str] = field(default_factory=dict)
+    activity_path: str = "repro/core/activity.py"
+    components_path: str = "repro/power/components.py"
+    metrics_path: str = "repro/obs/metrics.py"
+    event_names_line: int = 1
+    components_line: int = 1
+
+    @property
+    def event_set(self) -> frozenset:
+        return frozenset(self.event_names)
+
+    @property
+    def unit_set(self) -> frozenset:
+        return frozenset(self.unit_names)
+
+
+def _parse(path: Path) -> ast.Module:
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+
+
+def _module_assign(tree: ast.Module, name: str) -> Optional[ast.Assign]:
+    """The last module-level ``name = ...`` assignment, if any."""
+    found = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    found = node
+        elif isinstance(node, ast.AnnAssign):
+            if (isinstance(node.target, ast.Name)
+                    and node.target.id == name and node.value is not None):
+                # normalize to the Assign shape callers expect
+                assign = ast.Assign(targets=[node.target],
+                                    value=node.value)
+                assign.lineno = node.lineno
+                found = assign
+    return found
+
+
+def _literal_strings(tree: ast.Module, name: str,
+                     path: Path) -> Tuple[Tuple[str, ...], int]:
+    node = _module_assign(tree, name)
+    if node is None:
+        raise LintError(f"{path}: no module-level {name} assignment")
+    try:
+        value = ast.literal_eval(node.value)
+    except ValueError as exc:
+        raise LintError(
+            f"{path}:{node.lineno}: {name} is not a literal") from exc
+    if not isinstance(value, (tuple, list)) \
+            or not all(isinstance(v, str) for v in value):
+        raise LintError(f"{path}: {name} must be a tuple of strings")
+    return tuple(value), node.lineno
+
+
+def _component_decls(tree: ast.Module,
+                     path: Path) -> Tuple[ComponentDecl, ...]:
+    decls = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if callee != "Component":
+            continue
+        fields: Dict[str, object] = {}
+        order = ("name", "unit", "category", "events", "clock_share")
+        for pos, arg in enumerate(node.args):
+            if pos < len(order):
+                fields[order[pos]] = arg
+        for kw in node.keywords:
+            if kw.arg:
+                fields[kw.arg] = kw.value
+        try:
+            name = ast.literal_eval(fields["name"])
+            unit = ast.literal_eval(fields["unit"])
+            category = ast.literal_eval(fields["category"])
+            events = tuple(ast.literal_eval(fields["events"]))
+        except (KeyError, ValueError) as exc:
+            raise LintError(
+                f"{path}:{node.lineno}: Component(...) arguments must "
+                f"be literals for static checking") from exc
+        decls.append(ComponentDecl(name=str(name), unit=str(unit),
+                                   category=str(category),
+                                   events=tuple(str(e) for e in events),
+                                   line=node.lineno))
+    return tuple(decls)
+
+
+def _metric_decls(tree: ast.Module, path: Path) -> Dict[str, str]:
+    node = _module_assign(tree, "WELL_KNOWN_METRICS")
+    if node is None:
+        raise LintError(
+            f"{path}: no WELL_KNOWN_METRICS declaration (R006 needs the "
+            f"canonical metric-name table)")
+    try:
+        value = ast.literal_eval(node.value)
+    except ValueError as exc:
+        raise LintError(
+            f"{path}:{node.lineno}: WELL_KNOWN_METRICS is not a "
+            f"literal dict") from exc
+    if not isinstance(value, dict):
+        raise LintError(f"{path}: WELL_KNOWN_METRICS must be a dict")
+    return {str(k): str(v) for k, v in value.items()}
+
+
+def load_model_facts(package_root: Path) -> ModelFacts:
+    """Extract the contract tables from a ``repro`` package directory."""
+    package_root = Path(package_root)
+    activity = package_root / "core" / "activity.py"
+    components = package_root / "power" / "components.py"
+    metrics = package_root / "obs" / "metrics.py"
+
+    activity_tree = _parse(activity)
+    event_names, event_line = _literal_strings(
+        activity_tree, "EVENT_NAMES", activity)
+    unit_names, _ = _literal_strings(activity_tree, "UNIT_NAMES", activity)
+
+    components_tree = _parse(components)
+    categories, comp_line = _literal_strings(
+        components_tree, "CATEGORIES", components)
+    decls = _component_decls(components_tree, components)
+
+    rel = package_root.name  # "repro"
+    return ModelFacts(
+        event_names=event_names,
+        unit_names=unit_names,
+        categories=categories,
+        components=decls,
+        metric_decls=_metric_decls(_parse(metrics), metrics),
+        activity_path=f"{rel}/core/activity.py",
+        components_path=f"{rel}/power/components.py",
+        metrics_path=f"{rel}/obs/metrics.py",
+        event_names_line=event_line,
+        components_line=comp_line,
+    )

@@ -1,0 +1,57 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .findings import Finding, LintResult, Severity
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _counts(findings: List[Finding]) -> Dict[str, int]:
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for finding in findings:
+        counts[finding.severity.name.lower()] += 1
+    return counts
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """One ``path:line:col: RULE severity: message`` line per finding."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} "
+        f"{f.severity.name.lower()}: {f.message}"
+        for f in result.findings
+    ]
+    counts = _counts(result.findings)
+    summary = (f"{len(result.findings)} finding"
+               f"{'' if len(result.findings) == 1 else 's'} "
+               f"({counts['error']} error, {counts['warning']} warning) "
+               f"in {result.files_checked} files")
+    if result.baselined:
+        summary += f"; {len(result.baselined)} baselined"
+    lines.append(summary)
+    if verbose and result.baselined:
+        lines.append("baselined findings:")
+        lines.extend(
+            f"  {f.path}:{f.line}: {f.rule}: {f.message} "
+            f"[{f.fingerprint}]"
+            for f in result.baselined)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, *,
+                threshold: Optional[Severity] = None) -> str:
+    """Machine-readable report (stable schema, see tests)."""
+    threshold = threshold if threshold is not None else Severity.WARNING
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "files_checked": result.files_checked,
+        "counts": _counts(result.findings),
+        "baselined": len(result.baselined),
+        "exit_code": 1 if result.count_at_least(threshold) else 0,
+        "findings": [f.as_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2)

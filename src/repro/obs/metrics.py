@@ -23,6 +23,20 @@ from ..errors import TelemetryError
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 
+# The canonical metric-name table: every metric the library itself
+# registers, with its kind.  ``repro lint`` rule R006 statically checks
+# that each ``.counter()/.gauge()/.histogram()`` literal in src/ appears
+# here with the matching kind — the compile-time mirror of the runtime
+# "one name = one kind" registry semantics below.  Add new wiring names
+# here first.
+WELL_KNOWN_METRICS: Dict[str, str] = {
+    "repro_runs_total": "counter",
+    "repro_run_seconds": "histogram",
+    "repro_simulations_total": "counter",
+    "repro_simulated_instructions_total": "counter",
+    "repro_power_eval_seconds": "histogram",
+}
+
 
 def _label_key(labels: Dict[str, object]) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.activity import EVENT_NAMES, UNIT_NAMES
+from ..errors import ModelError
 
 CATEGORIES = ("logic", "array", "rf", "clock")
 
@@ -101,7 +102,7 @@ EVENT_COMPONENT: Dict[str, str] = {}
 for _comp in COMPONENTS:
     for _ev in _comp.events:
         if _ev in EVENT_COMPONENT:
-            raise RuntimeError(
+            raise ModelError(
                 f"event {_ev} assigned to two components")
         EVENT_COMPONENT[_ev] = _comp.name
 
@@ -109,20 +110,20 @@ for _comp in COMPONENTS:
 def validate_inventory() -> None:
     """Sanity-check the component table; raises on inconsistency."""
     if len(COMPONENTS) != 39:
-        raise RuntimeError(
+        raise ModelError(
             f"expected 39 components, found {len(COMPONENTS)}")
     for comp in COMPONENTS:
         if comp.unit not in UNIT_NAMES:
-            raise RuntimeError(f"{comp.name}: unknown unit {comp.unit}")
+            raise ModelError(f"{comp.name}: unknown unit {comp.unit}")
         if comp.category not in CATEGORIES:
-            raise RuntimeError(
+            raise ModelError(
                 f"{comp.name}: unknown category {comp.category}")
         for ev in comp.events:
             if ev not in EVENT_NAMES:
-                raise RuntimeError(f"{comp.name}: unknown event {ev}")
+                raise ModelError(f"{comp.name}: unknown event {ev}")
     uncharged = set(EVENT_NAMES) - set(EVENT_COMPONENT)
     if uncharged:
-        raise RuntimeError(f"events charged nowhere: {sorted(uncharged)}")
+        raise ModelError(f"events charged nowhere: {sorted(uncharged)}")
 
 
 def components_of_unit(unit: str) -> List[Component]:

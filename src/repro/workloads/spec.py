@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.isa import InstrClass
+from ..errors import ConfigError
 from .synthetic import WorkloadSpec, generate
 from .trace import Trace
 
@@ -157,7 +158,7 @@ def specint_suite(instructions: int = 20000,
     traces: List[Trace] = []
     for name in chosen:
         if name not in SPECINT_PROFILES:
-            raise KeyError(f"unknown SPECint benchmark: {name!r}")
+            raise ConfigError(f"unknown SPECint benchmark: {name!r}")
         spec = scaled_spec(SPECINT_PROFILES[name],
                            instructions=instructions,
                            footprint_scale=footprint_scale)

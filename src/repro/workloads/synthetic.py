@@ -39,7 +39,7 @@ DEFAULT_MIX: Dict[InstrClass, float] = {
 }
 
 
-@dataclass
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Parametric description of a synthetic workload."""
 

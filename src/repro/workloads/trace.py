@@ -54,7 +54,7 @@ class Trace:
         """Split into fixed-size instruction windows (last partial kept
         if it is at least half a window)."""
         if size <= 0:
-            raise ValueError("window size must be positive")
+            raise TraceError("window size must be positive")
         out: List[Trace] = []
         for start in range(0, len(self.instructions), size):
             chunk = self.instructions[start:start + size]
@@ -71,7 +71,7 @@ class Trace:
         """The trace unrolled ``times`` times (L1-contained endless-loop
         proxies are built this way)."""
         if times <= 0:
-            raise ValueError("times must be positive")
+            raise TraceError("times must be positive")
         import copy
         body: List[Instruction] = []
         for _ in range(times):

@@ -6,7 +6,12 @@ fixtures are session-scoped and treated as read-only by tests.
 
 import pytest
 
-from repro.core import power9_config, power10_config
+from repro.core import activity, power9_config, power10_config
+
+# Strict activity accounting across the whole suite: any typo'd event
+# or unit name that slips past the static check (repro lint R001) fails
+# loudly as a SimulationError instead of silently charging zero energy.
+activity.set_strict_default(True)
 from repro.workloads import (daxpy_trace, dgemm_mma_trace,
                              dgemm_vsu_trace, generate, specint_suite,
                              WorkloadSpec)

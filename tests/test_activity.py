@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.activity import ActivityCounters, EVENT_NAMES, UNIT_NAMES
+from repro.errors import SimulationError
 
 
 class TestCounting:
@@ -13,14 +14,29 @@ class TestCounting:
         assert act.events["issue_fx"] == 4
 
     def test_unknown_event_rejected(self):
+        # strict mode is the suite-wide default (conftest.py)
         act = ActivityCounters()
-        with pytest.raises(KeyError):
+        assert act.strict
+        with pytest.raises(SimulationError):
             act.count("made_up_event")
 
     def test_unknown_unit_rejected(self):
         act = ActivityCounters()
-        with pytest.raises(KeyError):
+        with pytest.raises(SimulationError):
             act.busy("warp_drive")
+
+    def test_unknown_utilization_rejected(self):
+        act = ActivityCounters(cycles=10)
+        with pytest.raises(SimulationError):
+            act.utilization("warp_drive")
+
+    def test_non_strict_accumulates_unknown(self):
+        act = ActivityCounters(strict=False)
+        act.count("made_up_event", 2)
+        act.busy("warp_drive", 3)
+        assert act.events["made_up_event"] == 2
+        assert act.unit_busy_cycles["warp_drive"] == 3
+        assert act.utilization("made_up_unit") == 0.0
 
     def test_all_events_countable(self):
         act = ActivityCounters()

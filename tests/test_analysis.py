@@ -8,7 +8,7 @@ from repro.analysis import (GreedyFeatureSelector, bips, efficiency_gain,
                             format_series, format_table, geomean,
                             mean_abs_pct_error, nnls, ols, perf_per_watt,
                             predict, weighted_mean)
-from repro.errors import ModelError
+from repro.errors import AnalysisError, ModelError
 
 
 class TestMetrics:
@@ -90,7 +90,7 @@ class TestReport:
         assert "T" in text and "2.500" in text and "x" in text
 
     def test_row_width_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             format_table("T", ["a"], [[1, 2]])
 
     def test_format_series(self):

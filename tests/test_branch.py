@@ -8,6 +8,7 @@ from repro.core.branch import (BimodalPredictor, BranchUnit,
                                IndirectPredictor, TagePredictor,
                                make_branch_unit)
 from repro.core.isa import Instruction, InstrClass
+from repro.errors import ConfigError, SimulationError
 
 
 def _run(pred, seq):
@@ -37,7 +38,7 @@ class TestBimodal:
         assert _run(BimodalPredictor(), _biased_stream()) < 0.10
 
     def test_rejects_bad_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             BimodalPredictor(entries=1000)
 
     def test_loop_exit_mispredicted(self):
@@ -53,7 +54,7 @@ class TestGShare:
         assert _run(GSharePredictor(), seq) < 0.05
 
     def test_rejects_bad_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             GSharePredictor(entries=3)
 
 
@@ -106,7 +107,7 @@ class TestBranchUnit:
                           HybridPredictor)
         assert isinstance(make_branch_unit("power10").direction,
                           TagePredictor)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             make_branch_unit("power11")
 
     def test_process_counts_stats(self):
@@ -118,7 +119,7 @@ class TestBranchUnit:
 
     def test_process_rejects_non_branch(self):
         unit = make_branch_unit("power9")
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             unit.process(Instruction(iclass=InstrClass.FX))
 
     def test_indirect_path(self):

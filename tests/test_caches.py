@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.core.caches import (AccessResult, Cache, CacheGeometry,
                                CacheHierarchy, HierarchyGeometry,
                                StreamPrefetcher)
@@ -16,7 +17,7 @@ class TestGeometry:
         assert _geometry(8192, 4).num_sets == 32
 
     def test_invalid_size_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             CacheGeometry(1000, 3, 2)
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import TraceError
 from repro.core.isa import (BASE_LATENCY, Instruction, InstrClass,
                             count_flops)
 
@@ -37,11 +38,11 @@ class TestInstrClass:
 
 class TestInstruction:
     def test_memory_requires_address(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             Instruction(iclass=InstrClass.LOAD)
 
     def test_memory_requires_positive_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             Instruction(iclass=InstrClass.STORE, address=0x1000, size=0)
 
     def test_plain_instruction(self):

@@ -1,0 +1,395 @@
+"""Tests for repro.lint: per-rule fixtures, baseline, reporters, CLI.
+
+Per-rule tests run in-memory sources through ``LintEngine.lint_source``
+with a virtual relpath, so path-scoped rules (R003) can be exercised
+without touching the tree.  The meta-test at the bottom asserts the
+committed tree itself is lint-clean modulo the committed baseline.
+"""
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (Baseline, BaselineEntry, EXPECTED_COMPONENT_COUNT,
+                        LintEngine, Severity, fingerprint, render_json,
+                        render_text)
+from repro.lint.findings import Finding, LintResult
+from repro.lint.rules import ComponentCoverageRule
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine(package_root=PACKAGE_ROOT)
+
+
+def lint(engine, source, relpath="repro/core/fixture.py", rule=None):
+    found = engine.lint_source(textwrap.dedent(source), relpath)
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+class TestR001EventLiterals:
+    def test_typoed_count_flagged(self, engine):
+        found = lint(engine, 'act.count("icache_acess")', rule="R001")
+        assert len(found) == 1
+        assert found[0].severity == Severity.ERROR
+        assert "icache_acess" in found[0].message
+
+    def test_valid_count_clean(self, engine):
+        assert not lint(engine, 'act.count("icache_access")', rule="R001")
+
+    def test_typoed_busy_and_utilization_flagged(self, engine):
+        src = 'act.busy("warp_drive")\nact.utilization("warp_drive")\n'
+        assert len(lint(engine, src, rule="R001")) == 2
+
+    def test_valid_unit_clean(self, engine):
+        assert not lint(engine, 'act.busy("vsu", 4)', rule="R001")
+
+    def test_subscript_flagged(self, engine):
+        src = ('x = act.events["no_such_event"]\n'
+               'y = act.unit_busy_cycles["no_such_unit"]\n')
+        assert len(lint(engine, src, rule="R001")) == 2
+
+    def test_valid_subscript_clean(self, engine):
+        assert not lint(engine, 'x = act.events["l1d_access"]',
+                        rule="R001")
+
+    def test_str_count_not_confused(self, engine):
+        # str.count on literals/call results is not activity accounting
+        src = 'n = bin(7).count("1")\nm = "a,b".count(",")\n'
+        assert not lint(engine, src, rule="R001")
+
+    def test_event_table_dict_keys_checked(self, engine):
+        src = '_P11_EVENT_PJ = {"bogus_event": 1.0}\n'
+        found = lint(engine, src, rule="R001")
+        assert len(found) == 1 and "bogus_event" in found[0].message
+
+    def test_event_table_update_checked(self, engine):
+        src = '_P11_EVENT_PJ.update({"bogus_event": 1.0})\n'
+        assert len(lint(engine, src, rule="R001")) == 1
+
+    def test_lowercase_dicts_ignored(self, engine):
+        # Chrome-trace style local dicts are not activity tables
+        src = 'event = {"name": "x", "ph": "X"}\n'
+        assert not lint(engine, src, rule="R001")
+
+    def test_inline_suppression(self, engine):
+        src = 'act.count("bogus")  # repro-lint: disable=R001\n'
+        assert not lint(engine, src, rule="R001")
+
+    def test_inline_suppression_all(self, engine):
+        src = 'act.count("bogus")  # repro-lint: disable=all\n'
+        assert not lint(engine, src)
+
+
+def facts_with(engine, **overrides):
+    import dataclasses
+    return dataclasses.replace(engine.facts, **overrides)
+
+
+class TestR002ComponentCoverage:
+    def run_rule(self, facts):
+        return list(ComponentCoverageRule().check_project(facts, []))
+
+    def test_committed_inventory_clean(self, engine):
+        assert not self.run_rule(engine.facts)
+
+    def test_unowned_event_flagged(self, engine):
+        # acceptance: adding an event to EVENT_NAMES without a component
+        # owner must fail R002
+        facts = facts_with(
+            engine,
+            event_names=engine.facts.event_names + ("phantom_event",))
+        found = self.run_rule(facts)
+        assert any("phantom_event" in f.message
+                   and "owned by no component" in f.message
+                   for f in found)
+        assert all(f.severity == Severity.ERROR for f in found)
+
+    def test_component_count_enforced(self, engine):
+        facts = facts_with(engine,
+                           components=engine.facts.components[:-1])
+        found = self.run_rule(facts)
+        assert any(str(EXPECTED_COMPONENT_COUNT) in f.message
+                   for f in found)
+
+    def test_duplicate_ownership_flagged(self, engine):
+        # duplicate a component that owns events: each of its events is
+        # now charged twice (plus the count check fires)
+        comps = engine.facts.components
+        dup = next(c for c in comps if c.events)
+        facts = facts_with(engine, components=comps + (dup,))
+        found = self.run_rule(facts)
+        assert any("disjoint" in f.message for f in found)
+
+    def test_bad_unit_and_category_flagged(self, engine):
+        import dataclasses
+        comps = engine.facts.components
+        bad = dataclasses.replace(comps[0], unit="warp_drive",
+                                  category="made_up")
+        facts = facts_with(engine, components=(bad,) + comps[1:])
+        messages = " | ".join(f.message for f in self.run_rule(facts))
+        assert "warp_drive" in messages and "made_up" in messages
+
+    def test_unowned_event_in_modified_tree(self, engine, tmp_path):
+        # end-to-end: copy the contract modules, add an orphan event to
+        # EVENT_NAMES, and run the engine against the modified package
+        pkg = tmp_path / "repro"
+        for rel in ("core/activity.py", "power/components.py",
+                    "obs/metrics.py"):
+            dst = pkg / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(PACKAGE_ROOT / rel, dst)
+        activity = pkg / "core" / "activity.py"
+        text = activity.read_text()
+        assert '"flush_event",' in text
+        activity.write_text(text.replace(
+            '"flush_event",', '"flush_event",\n    "phantom_event",'))
+        result = LintEngine(package_root=pkg).run()
+        assert any(f.rule == "R002" and "phantom_event" in f.message
+                   for f in result.findings)
+
+
+class TestR003Determinism:
+    def test_wall_clock_flagged(self, engine):
+        src = 'import time\nt = time.perf_counter()\n'
+        found = lint(engine, src, rule="R003")
+        assert found and all(f.severity == Severity.ERROR for f in found)
+
+    def test_out_of_scope_path_clean(self, engine):
+        src = 'import time\nt = time.perf_counter()\n'
+        assert not lint(engine, src, relpath="repro/obs/fixture.py",
+                        rule="R003")
+
+    def test_seedless_rng_flagged(self, engine):
+        found = lint(engine, 'rng = np.random.default_rng()',
+                     rule="R003")
+        assert len(found) == 1
+
+    def test_seeded_rng_clean(self, engine):
+        assert not lint(engine, 'rng = np.random.default_rng(42)',
+                        rule="R003")
+
+    def test_global_numpy_random_flagged(self, engine):
+        assert lint(engine, 'x = np.random.random()', rule="R003")
+
+    def test_set_iteration_flagged(self, engine):
+        src = 'for x in {1, 2, 3}:\n    pass\n'
+        assert lint(engine, src, rule="R003")
+
+    def test_sorted_set_iteration_clean(self, engine):
+        src = 'for x in sorted({1, 2, 3}):\n    pass\n'
+        assert not lint(engine, src, rule="R003")
+
+
+class TestR004ErrorTaxonomy:
+    def test_builtin_raise_flagged(self, engine):
+        found = lint(engine, 'raise ValueError("nope")', rule="R004")
+        assert len(found) == 1
+        assert found[0].severity == Severity.WARNING
+
+    def test_taxonomy_raise_clean(self, engine):
+        assert not lint(engine, 'raise SimulationError("nope")',
+                        rule="R004")
+
+    def test_bare_reraise_clean(self, engine):
+        src = 'try:\n    f()\nexcept Exception:\n    raise\n'
+        assert not lint(engine, src, rule="R004")
+
+    def test_bare_except_flagged_fixable(self, engine):
+        src = 'try:\n    f()\nexcept:\n    pass\n'
+        found = lint(engine, src, rule="R004")
+        assert len(found) == 1 and found[0].fixable
+
+
+class TestR005ConfigHygiene:
+    def test_unfrozen_config_flagged(self, engine):
+        src = ('@dataclass\n'
+               'class FooConfig:\n'
+               '    depth: int = 1\n')
+        found = lint(engine, src, rule="R005")
+        assert len(found) == 1 and "FooConfig" in found[0].message
+
+    def test_frozen_config_clean(self, engine):
+        src = ('@dataclass(frozen=True)\n'
+               'class FooConfig:\n'
+               '    depth: int = 1\n')
+        assert not lint(engine, src, rule="R005")
+
+    def test_non_config_class_ignored(self, engine):
+        src = ('@dataclass\n'
+               'class ScratchState:\n'
+               '    depth: int = 1\n')
+        assert not lint(engine, src, rule="R005")
+
+    def test_mutable_default_arg_flagged(self, engine):
+        found = lint(engine, 'def f(x, cache={}):\n    pass\n',
+                     rule="R005")
+        assert len(found) == 1
+
+    def test_none_default_clean(self, engine):
+        assert not lint(engine, 'def f(x, cache=None):\n    pass\n',
+                        rule="R005")
+
+
+class TestR006MetricRegistration:
+    def test_undeclared_metric_flagged(self, engine):
+        found = lint(engine, 'reg.counter("repro_bogus_total")',
+                     rule="R006")
+        assert len(found) == 1
+
+    def test_declared_metric_clean(self, engine):
+        assert not lint(engine, 'reg.counter("repro_runs_total")',
+                        rule="R006")
+
+    def test_kind_mismatch_flagged(self, engine):
+        found = lint(engine, 'reg.gauge("repro_runs_total")',
+                     rule="R006")
+        assert len(found) == 1 and "declared as counter" in \
+            found[0].message
+
+
+class TestBaseline:
+    def make_finding(self, line=3):
+        return Finding(rule="R004", severity=Severity.WARNING,
+                       path="repro/core/fixture.py", line=line, col=0,
+                       message="raise ValueError from library code")
+
+    def test_round_trip(self, tmp_path):
+        finding = self.make_finding()
+        baseline = Baseline.from_findings([finding], "known debt")
+        path = tmp_path / "lint-baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert finding in loaded
+        entry = loaded.entries[0]
+        assert entry.rule == "R004"
+        assert entry.justification == "known debt"
+        assert entry.fingerprint == finding.fingerprint
+
+    def test_fingerprint_line_independent(self, tmp_path):
+        baseline = Baseline.from_findings([self.make_finding(line=3)],
+                                          "debt")
+        # the same finding moved to another line still matches
+        assert self.make_finding(line=90) in baseline
+
+    def test_split(self):
+        known = self.make_finding()
+        fresh = Finding(rule="R001", severity=Severity.ERROR,
+                        path="repro/core/other.py", line=1, col=0,
+                        message="unknown activity event")
+        baseline = Baseline.from_findings([known], "debt")
+        new, matched = baseline.split([known, fresh])
+        assert new == [fresh] and matched == [known]
+
+    def test_fingerprint_stable(self):
+        a = fingerprint("R001", "p.py", "msg")
+        assert a == fingerprint("R001", "p.py", "msg")
+        assert a != fingerprint("R002", "p.py", "msg")
+        assert len(a) == 12
+
+
+class TestReporters:
+    def make_result(self):
+        finding = Finding(rule="R001", severity=Severity.ERROR,
+                          path="repro/core/fixture.py", line=4, col=2,
+                          message='unknown activity event "x"')
+        return LintResult(findings=[finding], files_checked=1)
+
+    def test_text_format(self):
+        text = render_text(self.make_result())
+        assert "repro/core/fixture.py:4:2: R001 error:" in text
+        assert "1 finding" in text
+
+    def test_json_schema(self):
+        payload = json.loads(render_json(self.make_result(),
+                                         threshold=Severity.WARNING))
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro.lint"
+        assert payload["files_checked"] == 1
+        assert payload["exit_code"] == 1
+        assert payload["counts"] == {"error": 1, "warning": 0, "info": 0}
+        (finding,) = payload["findings"]
+        assert set(finding) >= {"rule", "severity", "path", "line",
+                                "col", "message", "fingerprint"}
+        assert finding["severity"] == "error"
+
+    def test_json_clean_tree_exit_zero(self):
+        payload = json.loads(render_json(LintResult(files_checked=3),
+                                         threshold=Severity.WARNING))
+        assert payload["exit_code"] == 0
+        assert payload["findings"] == []
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert cli_main(["lint", "--baseline",
+                         str(REPO_ROOT / "lint-baseline.json")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_typo_fixture_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "fixture.py"
+        bad.write_text('act.count("icache_acess")\n')
+        assert cli_main(["lint", "--no-baseline", str(bad)]) == 1
+        assert "icache_acess" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "fixture.py"
+        bad.write_text('act.count("icache_acess")\n')
+        rc = cli_main(["lint", "--no-baseline", "--format", "json",
+                       str(bad)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1 and payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "R001"
+
+    def test_min_severity_threshold(self, tmp_path):
+        warn_only = tmp_path / "fixture.py"
+        warn_only.write_text('raise ValueError("x")\n')
+        assert cli_main(["lint", "--no-baseline", str(warn_only)]) == 1
+        assert cli_main(["lint", "--no-baseline", "--min-severity",
+                         "error", str(warn_only)]) == 0
+
+    def test_fix_rewrites_bare_except(self, tmp_path, capsys):
+        bad = tmp_path / "fixture.py"
+        bad.write_text('try:\n    f()\nexcept:\n    pass\n')
+        assert cli_main(["lint", "--no-baseline", "--fix",
+                         str(bad)]) == 0
+        assert "except Exception:" in bad.read_text()
+
+    def test_write_baseline(self, tmp_path, capsys, monkeypatch):
+        bad = tmp_path / "fixture.py"
+        bad.write_text('raise ValueError("x")\n')
+        baseline_path = tmp_path / "baseline.json"
+        assert cli_main(["lint", "--baseline", str(baseline_path),
+                         "--write-baseline", str(bad)]) == 0
+        assert baseline_path.exists()
+        capsys.readouterr()
+        # grandfathered on the next run
+        assert cli_main(["lint", "--baseline", str(baseline_path),
+                         str(bad)]) == 0
+
+
+class TestLiveTree:
+    def test_committed_tree_is_lint_clean(self, engine):
+        """Meta-test: the tree must stay clean modulo the baseline."""
+        result = engine.run()
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        fresh, _ = baseline.split(result.findings)
+        assert fresh == [], render_text(
+            LintResult(findings=fresh,
+                       files_checked=result.files_checked))
+
+    def test_baseline_entries_justified(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        for entry in baseline.entries:
+            assert entry.justification
+            assert not entry.justification.startswith("TODO")

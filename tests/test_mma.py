@@ -58,15 +58,15 @@ class TestGer:
 
     def test_shape_validation(self):
         unit = MMAUnit()
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             unit.ger(0, [1, 2, 3], [1, 2, 3, 4], dtype="fp32")
 
     def test_bad_dtype(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             MMAUnit().ger(0, [1, 2, 3, 4], [1, 2, 3, 4], dtype="fp16")
 
     def test_accumulator_range(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             MMAUnit().xxsetaccz(8)
 
 
@@ -114,7 +114,7 @@ class TestGemm:
             ger_instructions_for_gemm(8, 8, 6, dtype="fp32")
 
     def test_shape_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             mma_gemm(np.ones((4, 4)), np.ones((5, 4)))
 
     def test_ger_count_formula(self):

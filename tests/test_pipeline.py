@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import power9_config, power10_config
 from repro.core.pipeline import _Pool, _Ports, _Ring, simulate
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.workloads import (daxpy_trace, dgemm_mma_trace,
                              dgemm_vsu_trace, max_power_stressmark,
                              merge_smt, pointer_chase_trace)
@@ -26,7 +26,7 @@ class TestRing:
         assert ring.earliest_alloc() == 90
 
     def test_positive_capacity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             _Ring(0)
 
 

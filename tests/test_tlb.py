@@ -2,12 +2,13 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.core.tlb import MMU, PAGE_BYTES, _LruTable
 
 
 class TestLruTable:
     def test_positive_capacity(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             _LruTable(0)
 
     def test_capacity_eviction(self):

@@ -48,7 +48,7 @@ class TestWindows:
         assert [len(w) for w in windows] == [30, 20]
 
     def test_bad_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             _trace().windows(0)
 
     def test_too_short(self):
@@ -67,7 +67,7 @@ class TestRepeated:
         assert not rep.instructions[2].flushed
 
     def test_bad_times(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceError):
             _trace().repeated(0)
 
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import SimulationError
 from repro.core.vsu import (VSUnit, vector_fma_count_for_gemm, vsu_gemm)
 
 
@@ -27,11 +28,11 @@ class TestVSUnit:
         assert unit.instructions_executed == 1
 
     def test_register_bounds(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             VSUnit().load(64, [0, 0])
 
     def test_bad_lane_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             VSUnit().load(0, [1, 2, 3])
 
 
@@ -50,7 +51,7 @@ class TestVsuGemm:
         np.testing.assert_allclose(vsu_gemm(a, b, lanes=4), a @ b)
 
     def test_shape_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             vsu_gemm(np.ones((2, 3)), np.ones((2, 3)))
 
     def test_fma_count_formula(self):

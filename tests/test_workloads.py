@@ -4,7 +4,7 @@ kernels, GEMM traces, stressmarks)."""
 import pytest
 
 from repro.core.isa import InstrClass
-from repro.errors import TraceError
+from repro.errors import ConfigError, TraceError
 from repro.workloads import (PROXY_COVERAGE, SPECINT_NAMES,
                              SPECINT_PROFILES, WorkloadSpec,
                              daxpy_trace, derating_suites,
@@ -86,7 +86,7 @@ class TestSpec:
         assert len(traces) == 1 and len(traces[0]) == 1000
 
     def test_unknown_name(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigError):
             specint_suite(names=["doom"])
 
     def test_scaled_spec_divides_footprints(self):
