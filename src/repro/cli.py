@@ -11,6 +11,10 @@ Commands:
 * ``wof``      — power-proxy design + WOF boost decisions;
 * ``yield``    — PFLY/CLY offering sweep;
 * ``trace``    — one fully-telemetered run (spans + interval samples);
+* ``inject``   — one seeded fault-injection run with the full
+  injection log (see :mod:`repro.resilience`);
+* ``campaign`` — a resumable N-run fault-injection campaign with the
+  AVF/SERMiner cross-check report;
 * ``lint``     — static analysis proving the event/energy/determinism
   contracts (rules R001–R006, see :mod:`repro.lint`).
 
@@ -209,28 +213,11 @@ def _cmd_yield(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core import power9_config, power10_config, simulate_trace
-    from .workloads import (daxpy_trace, dgemm_mma_trace,
-                            dgemm_vsu_trace, specint_proxies)
-
-    from .workloads.spec import SPECINT_NAMES
+    from .resilience.campaign import resolve_workload
 
     config = power9_config() if args.config == "power9" \
         else power10_config()
-    if args.workload == "dgemm-mma":
-        trace = dgemm_mma_trace(max(1, args.instructions // 8))
-    elif args.workload == "dgemm-vsu":
-        trace = dgemm_vsu_trace(max(1, args.instructions // 8))
-    elif args.workload == "daxpy":
-        trace = daxpy_trace(args.instructions)
-    elif args.workload in SPECINT_NAMES:
-        trace = specint_proxies(instructions=args.instructions,
-                                names=[args.workload])[0]
-    else:
-        choices = ", ".join(("daxpy", "dgemm-vsu", "dgemm-mma")
-                            + SPECINT_NAMES)
-        print(f"error: unknown workload {args.workload!r} "
-              f"(choices: {choices})", file=sys.stderr)
-        return 2
+    trace = resolve_workload(args.workload, args.instructions)
     run = simulate_trace(config, trace,
                          sampler=_session_sampler(args, config, trace))
     print(f"{trace.name} on {config.name}: IPC {run.ipc:.2f}, "
@@ -239,6 +226,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if session is not None:
         print(f"{len(session.sampler.samples)} interval samples "
               f"({session.sampler.interval_cycles}-cycle target)")
+    return 0
+
+
+def _campaign_config(args: argparse.Namespace, runs: int):
+    from .resilience import CampaignConfig
+    return CampaignConfig(
+        seed=args.seed, runs=runs, workload=args.workload,
+        instructions=args.instructions,
+        faults_per_run=args.faults, generation=args.config,
+        interval_cycles=args.interval,
+        cycle_budget_factor=args.budget_factor)
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from .resilience import CampaignRunner
+
+    runner = CampaignRunner(_campaign_config(args, 1))
+    record = runner.run_one(0)
+    golden = runner.golden()
+    if args.json:
+        print(json.dumps({"command": "inject",
+                          "golden_cycles": golden["cycles"],
+                          "run": record.to_json()}, indent=2))
+        return 0
+    print(f"{args.workload} on {args.config}: golden "
+          f"{golden['cycles']} cycles, injected run "
+          f"{record.cycles if record.cycles >= 0 else 'fail-stopped'}"
+          f" -> {record.outcome} ({record.detail})")
+    for inj in record.injections:
+        fault = inj["fault"]
+        print(f"  {fault['kind']:10s} at={fault['at']:<6d} "
+              f"{inj['effect']:20s} {inj['detail']}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .resilience import CampaignRunner, build_report
+
+    runner = CampaignRunner(_campaign_config(args, args.runs),
+                            checkpoint=args.checkpoint)
+    result = runner.run()
+    report = build_report(result, runner.population,
+                          runner.golden()["activity"], vt=args.vt)
+    if args.report:
+        from pathlib import Path
+        Path(args.report).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True))
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+        if args.report:
+            print(f"report written to {args.report}")
     return 0
 
 
@@ -369,6 +409,45 @@ def build_parser() -> argparse.ArgumentParser:
                    default="power10")
     p.add_argument("--instructions", type=int, default=8000)
     p.set_defaults(func=_cmd_trace)
+
+    fault = argparse.ArgumentParser(add_help=False)
+    fault.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (default 0)")
+    fault.add_argument("--workload", default="xz",
+                       help="SPECint proxy name, or daxpy / dgemm-vsu "
+                            "/ dgemm-mma")
+    fault.add_argument("--config", choices=["power9", "power10"],
+                       default="power10")
+    fault.add_argument("--instructions", type=int, default=2000)
+    fault.add_argument("--faults", type=int, default=3, metavar="N",
+                       help="faults drawn per run (default 3)")
+    fault.add_argument("--interval", type=int, default=500,
+                       metavar="CYCLES",
+                       help="campaign sampler interval (default 500)")
+    fault.add_argument("--budget-factor", type=float, default=8.0,
+                       metavar="X",
+                       help="hang watchdog: budget = X * golden cycles "
+                            "(default 8.0)")
+    fault.add_argument("--json", action="store_true",
+                       help="machine-readable results on stdout")
+
+    p = sub.add_parser("inject", parents=[telemetry, fault],
+                       help="one seeded fault-injection run")
+    p.set_defaults(func=_cmd_inject)
+
+    p = sub.add_parser("campaign", parents=[telemetry, fault],
+                       help="resumable N-run fault-injection campaign")
+    p.add_argument("--runs", type=int, default=8)
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="JSON checkpoint written after every run; an "
+                        "existing file resumes the campaign")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the AVF/SERMiner cross-check report "
+                        "to FILE as JSON")
+    p.add_argument("--vt", type=int, default=50,
+                   help="SERMiner vulnerability threshold %% for the "
+                        "cross-check (default 50)")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
         "lint",

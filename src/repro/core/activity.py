@@ -136,6 +136,28 @@ class ActivityCounters:
             return
         self.events[event] += n
 
+    def force(self, event: str, value: int) -> None:
+        """Overwrite one event count in place (fault-injection hook).
+
+        Unlike :meth:`count` the value *replaces* the accumulated
+        count.  The write is validated the way a hardware counter
+        validates parity: a non-integer or negative count can never be
+        a legal accumulation, so it raises
+        :class:`~repro.errors.SimulationError` — which is how a fault
+        campaign's corrupted counter becomes a *detected* outcome
+        instead of a silent one.
+        """
+        if event not in _EVENT_SET and self.strict:
+            raise SimulationError(
+                f"unknown activity event: {event!r} (not in "
+                f"repro.core.activity.EVENT_NAMES)")
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            raise SimulationError(
+                f"invalid count for event {event!r}: {value!r} "
+                f"(counts must be non-negative integers)")
+        self.events[event] = value
+
     def busy(self, unit: str, cycles: int = 1) -> None:
         if unit not in _UNIT_SET:
             if self.strict:

@@ -255,6 +255,12 @@ def _simulate(config: CoreConfig, trace, *,
               sampler: Optional["CycleIntervalSampler"]) -> SimResult:
     if not 0.0 <= warmup_fraction < 1.0:
         raise SimulationError("warmup_fraction must be in [0, 1)")
+    # Fault-injection hook (lazy import keeps core free of a static
+    # dependency on the resilience layer).  With no campaign active the
+    # injector is None and every hook below is skipped — results stay
+    # bit-identical to a tree without fault injection.
+    from ..resilience.injector import get_injector
+    injector = get_injector()
     core = CorePipeline(config)
     act = ActivityCounters()
     fe = config.front_end
@@ -281,6 +287,8 @@ def _simulate(config: CoreConfig, trace, *,
         instructions = instructions[:max_instructions]
     if not instructions:
         raise SimulationError("cannot simulate an empty trace")
+    if injector is not None:
+        instructions = injector.begin_sim(instructions)
 
     front_cycle = 0           # cycle the current decode group occupies
     last_retire_cycle = 0
@@ -511,6 +519,12 @@ def _simulate(config: CoreConfig, trace, *,
             act.count("complete_instr")
 
             prev_l1d_access_skipped = fused and effect.single_agen
+
+        if injector is not None:
+            # deliver due faults for this window; the poll is also the
+            # campaign watchdog (raises HangError past the cycle budget)
+            front_cycle += injector.poll(
+                idx, act, max(last_retire_cycle, front_cycle))
 
         if sampler is not None:
             sampler.observe(max(last_retire_cycle, front_cycle), act)

@@ -33,3 +33,13 @@ class AnalysisError(ReproError):
 class LintError(ReproError):
     """The static-analysis pass could not run (unreadable source,
     missing contract tables, malformed baseline file)."""
+
+
+class ResilienceError(ReproError):
+    """The fault-injection layer was misused (malformed fault schedule,
+    conflicting active injectors, corrupt campaign checkpoint)."""
+
+
+class HangError(ResilienceError):
+    """A fault-injected simulation exceeded its cycle budget; the
+    campaign watchdog converts this into a classified hang."""

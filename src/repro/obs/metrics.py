@@ -35,6 +35,10 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "repro_simulations_total": "counter",
     "repro_simulated_instructions_total": "counter",
     "repro_power_eval_seconds": "histogram",
+    "repro_occ_degraded_ticks_total": "counter",
+    "repro_occ_failsafe_ticks_total": "counter",
+    "repro_faults_injected_total": "counter",
+    "repro_campaign_runs_total": "counter",
 }
 
 

@@ -126,7 +126,7 @@ class CycleIntervalSampler:
             from ..power.apex import apex_power_from_activity
             proxy_w = apex_power_from_activity(self._config, delta)
 
-        self.samples.append(IntervalSample(
+        sample = IntervalSample(
             run=self._run,
             index=self._index,
             cycle_start=self._mark_cycle,
@@ -135,7 +135,17 @@ class CycleIntervalSampler:
             ipc=delta.instructions / width,
             proxy_w=proxy_w,
             unit_activity={u: delta.utilization(u) for u in UNIT_NAMES},
-            events=dict(events)))
+            events=dict(events))
+        # Fault-injection hook: an active campaign can drop, freeze, or
+        # corrupt the interval (telemetry loss).  Cursors advance either
+        # way, so a lost interval leaves a gap exactly like a lost OCC
+        # reading; with no campaign active the sample passes untouched.
+        from ..resilience.injector import get_injector
+        inj = get_injector()
+        if inj is not None:
+            sample = inj.on_sample(sample)
+        if sample is not None:
+            self.samples.append(sample)
         self._index += 1
         self._mark_cycle = cycle
         self._mark_events = dict(activity.events)

@@ -12,10 +12,12 @@ trip threshold with programmable hysteresis.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import List
 
-from ..errors import ModelError
+from ..errors import ModelError, SimulationError
 
 
 @dataclass
@@ -45,7 +47,15 @@ class SupplyModel:
         self._last_current = 0.0
 
     def step(self, current_a: float) -> float:
-        """Advance one cycle; returns the instantaneous voltage (mV)."""
+        """Advance one cycle; returns the instantaneous voltage (mV).
+
+        A NaN/inf current would poison the sag integrator state for
+        every later cycle, so non-finite inputs are rejected up front.
+        """
+        if not math.isfinite(current_a):
+            raise SimulationError(
+                f"non-finite current fed to SupplyModel.step: "
+                f"{current_a!r}")
         di = current_a - self._last_current
         self._last_current = current_a
         # current steps kick the sag; the grid spring-dampens back

@@ -4,26 +4,54 @@ A periodic control loop (the OCC runs at ~250us ticks on real parts)
 that reads the per-core power proxies, applies the WOF frequency
 decision for the socket, engages fine-grained throttling on cores that
 exceed their share, and manages MMA power gating.
+
+The loop is *fail-safe*: real OCC firmware cannot assume its telemetry
+fabric delivers a fresh, finite reading every tick.  A core whose
+reading is lost or corrupt (non-finite proxy, missing event data) is
+driven from its last-good value for up to ``staleness_budget``
+consecutive ticks; past that — or when no good reading was ever seen —
+the controller escalates to fail-safe mode for the tick: frequency
+drops to Fmin, every core is throttled to its duty floor, and the MMA
+is force-gated.  Every degradation is counted both on the controller
+and through the metrics registry, and surfaced per tick on
+:class:`OccTickResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+import math
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..errors import ModelError
+from ..obs.metrics import get_registry
 from .throttle import FineGrainThrottle
-from .wof import MMAPowerGate, WofDecision, WofDesignPoint, WofGovernor
+from .wof import MMAPowerGate, WofDecision, WofGovernor
 
 
 @dataclass
 class CoreTelemetry:
-    """Per-tick input from one core."""
+    """Per-tick input from one core.
+
+    ``telemetry_ok=False`` marks a *lost* reading — the sensor fabric
+    delivered nothing usable — which is a different condition from a
+    genuinely idle core reporting zeros.  The OCC staleness path keys
+    off this flag.
+    """
 
     core_id: int
     proxy_power_w: float
     mma_busy: bool = False
     wake_hint_seen: bool = False
+    telemetry_ok: bool = True
+
+    @property
+    def usable(self) -> bool:
+        """A reading the control law can safely consume."""
+        return (self.telemetry_ok
+                and math.isfinite(self.proxy_power_w)
+                and self.proxy_power_w >= 0.0)
 
     @classmethod
     def from_sample(cls, sample, core_id: int = 0) -> "CoreTelemetry":
@@ -31,10 +59,24 @@ class CoreTelemetry:
         (:class:`repro.obs.sampler.IntervalSample`): the proxy reading
         is the interval's proxy power, MMA busyness comes from the
         interval's MMA issue activity, and accumulator moves act as the
-        wake hint (they precede MMA bursts)."""
-        events = getattr(sample, "events", None) or {}
+        wake hint (they precede MMA bursts).
+
+        A sample with a missing or empty ``events`` mapping, or a
+        non-finite proxy reading, is telemetry *loss* — not an idle
+        core — and yields ``telemetry_ok=False`` so the OCC staleness
+        path engages instead of mistaking "no data" for zero activity.
+        """
+        events = getattr(sample, "events", None)
+        proxy = getattr(sample, "proxy_w", float("nan"))
+        try:
+            proxy = float(proxy)
+        except (TypeError, ValueError):
+            proxy = float("nan")
+        if not events or not math.isfinite(proxy):
+            return cls(core_id=core_id, proxy_power_w=proxy,
+                       telemetry_ok=False)
         return cls(core_id=core_id,
-                   proxy_power_w=sample.proxy_w,
+                   proxy_power_w=proxy,
                    mma_busy=events.get("issue_mma", 0) > 0,
                    wake_hint_seen=events.get("mma_move", 0) > 0)
 
@@ -46,6 +88,8 @@ class OccTickResult:
     core_duties: Dict[int, float]
     socket_power_w: float
     mma_powered: Dict[int, bool]
+    degraded_cores: Tuple[int, ...] = ()
+    failsafe: bool = False
 
 
 class OnChipController:
@@ -53,33 +97,91 @@ class OnChipController:
 
     def __init__(self, governor: WofGovernor, cores: int, *,
                  socket_budget_w: float,
-                 tick_cycles: int = 100000):
+                 tick_cycles: int = 100000,
+                 staleness_budget: int = 2,
+                 fmin_ratio: float = 0.5):
         if cores <= 0:
             raise ModelError("need at least one core")
         if socket_budget_w <= 0:
             raise ModelError("socket budget must be positive")
+        if staleness_budget < 0:
+            raise ModelError("staleness budget must be >= 0")
+        if not 0 < fmin_ratio <= 1:
+            raise ModelError("fmin ratio must be in (0, 1]")
         self.governor = governor
         self.cores = cores
         self.socket_budget_w = socket_budget_w
         self.tick_cycles = tick_cycles
+        self.staleness_budget = staleness_budget
+        self.fmin_ratio = fmin_ratio
         per_core = socket_budget_w / cores
         self._throttles = {i: FineGrainThrottle(per_core * 1.15)
                            for i in range(cores)}
         self._gates = {i: MMAPowerGate() for i in range(cores)}
+        self._last_good: Dict[int, CoreTelemetry] = {}
+        self._stale_ticks: Dict[int, int] = {i: 0 for i in range(cores)}
+        self.degraded_ticks = 0
+        self.failsafe_ticks = 0
         self.history: List[OccTickResult] = []
+
+    @property
+    def fmin_ghz(self) -> float:
+        return self.governor.design.nominal_ghz * self.fmin_ratio
+
+    def _validate(self, telemetry: List[CoreTelemetry]):
+        """Split raw telemetry into usable readings and loss handling.
+
+        Returns ``(validated, degraded, failsafe)``: the telemetry the
+        control law should consume (lost readings replaced by the
+        core's last-good value while inside the staleness budget), the
+        ids of cores running on substituted data this tick, and whether
+        any core exhausted its budget (escalate to fail-safe).
+        """
+        validated: List[CoreTelemetry] = []
+        degraded: List[int] = []
+        failsafe = False
+        for t in telemetry:
+            if t.usable:
+                self._last_good[t.core_id] = t
+                self._stale_ticks[t.core_id] = 0
+                validated.append(t)
+                continue
+            degraded.append(t.core_id)
+            self._stale_ticks[t.core_id] += 1
+            last = self._last_good.get(t.core_id)
+            if last is None \
+                    or self._stale_ticks[t.core_id] > self.staleness_budget:
+                failsafe = True
+            substitute = last if last is not None else CoreTelemetry(
+                core_id=t.core_id, proxy_power_w=0.0)
+            validated.append(CoreTelemetry(
+                core_id=t.core_id,
+                proxy_power_w=substitute.proxy_power_w,
+                mma_busy=substitute.mma_busy,
+                wake_hint_seen=False))
+        return validated, tuple(degraded), failsafe
 
     def tick(self, telemetry: List[CoreTelemetry]) -> OccTickResult:
         """One control interval."""
         if len(telemetry) != self.cores:
             raise ModelError("telemetry must cover every core")
-        socket_power = sum(t.proxy_power_w for t in telemetry)
+        validated, degraded, failsafe = self._validate(telemetry)
+        if degraded:
+            self.degraded_ticks += 1
+            get_registry().counter(
+                "repro_occ_degraded_ticks_total",
+                "OCC ticks that ran on substituted last-good "
+                "telemetry").inc()
+        if failsafe:
+            return self._failsafe_tick(validated, degraded)
+        socket_power = sum(t.proxy_power_w for t in validated)
         mean_power = socket_power / self.cores
-        all_mma_idle = all(not t.mma_busy for t in telemetry)
+        all_mma_idle = all(not t.mma_busy for t in validated)
         decision = self.governor.decide(
             "socket", mean_power, mma_idle=all_mma_idle)
         duties: Dict[int, float] = {}
         powered: Dict[int, bool] = {}
-        for t in telemetry:
+        for t in validated:
             duties[t.core_id] = \
                 self._throttles[t.core_id].update(t.proxy_power_w)
             gate = self._gates[t.core_id]
@@ -91,7 +193,43 @@ class OnChipController:
             wof=decision,
             core_duties=duties,
             socket_power_w=socket_power,
-            mma_powered=powered)
+            mma_powered=powered,
+            degraded_cores=degraded)
+        self.history.append(result)
+        return result
+
+    def _failsafe_tick(self, validated: List[CoreTelemetry],
+                       degraded: Tuple[int, ...]) -> OccTickResult:
+        """Telemetry stayed stale past the budget: Fmin, duty floors,
+        MMA gated — the safest operating point that needs no sensor."""
+        self.failsafe_ticks += 1
+        get_registry().counter(
+            "repro_occ_failsafe_ticks_total",
+            "OCC ticks spent in fail-safe mode (Fmin + max throttle "
+            "+ MMA gated)").inc()
+        design = self.governor.design
+        decision = WofDecision(
+            workload="socket-failsafe",
+            effective_cap_ratio=1.0,
+            boost_ghz=self.fmin_ghz,
+            nominal_ghz=design.nominal_ghz,
+            mma_gated=True,
+            reclaimed_leakage_w=0.0)
+        duties: Dict[int, float] = {}
+        powered: Dict[int, bool] = {}
+        for t in validated:
+            duties[t.core_id] = self._throttles[t.core_id].failsafe()
+            self._gates[t.core_id].force_off(self.tick_cycles)
+            powered[t.core_id] = False
+        socket_power = sum(t.proxy_power_w for t in validated)
+        result = OccTickResult(
+            frequency_ghz=self.fmin_ghz,
+            wof=decision,
+            core_duties=duties,
+            socket_power_w=socket_power,
+            mma_powered=powered,
+            degraded_cores=degraded,
+            failsafe=True)
         self.history.append(result)
         return result
 

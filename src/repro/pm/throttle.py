@@ -14,10 +14,12 @@ Two flavours, as shipped:
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from typing import List
 
-from ..errors import ModelError
+from ..errors import ModelError, SimulationError
 
 
 @dataclass
@@ -45,7 +47,17 @@ class FineGrainThrottle:
         self._cycle = 0
 
     def update(self, proxy_power_w: float) -> float:
-        """Feed one proxy reading; returns the new dispatch duty."""
+        """Feed one proxy reading; returns the new dispatch duty.
+
+        A NaN/inf reading would silently freeze or saturate the duty
+        controller (NaN fails both comparisons below) and land in the
+        history; telemetry loss must be handled by the caller (the OCC
+        staleness path), not absorbed here.
+        """
+        if not math.isfinite(proxy_power_w):
+            raise SimulationError(
+                f"non-finite proxy power fed to FineGrainThrottle."
+                f"update: {proxy_power_w!r}")
         self._cycle += 1
         if proxy_power_w > self.limit_w:
             overshoot = proxy_power_w / self.limit_w - 1.0
@@ -56,6 +68,20 @@ class FineGrainThrottle:
         self.history.append(ThrottleState(
             cycle=self._cycle, duty=self.duty,
             power_estimate_w=proxy_power_w, limit_w=self.limit_w))
+        return self.duty
+
+    def failsafe(self) -> float:
+        """Engage maximum throttle without a proxy reading.
+
+        The OCC's last resort when telemetry stays stale past its
+        budget: clamp the duty to the floor and log a history entry at
+        the limit (the most conservative finite estimate available).
+        """
+        self._cycle += 1
+        self.duty = self.min_duty
+        self.history.append(ThrottleState(
+            cycle=self._cycle, duty=self.duty,
+            power_estimate_w=self.limit_w, limit_w=self.limit_w))
         return self.duty
 
     def settle(self, open_loop_power_w: float, *,

@@ -150,3 +150,13 @@ class MMAPowerGate:
             self._powered = False
         if not self._powered:
             self.gated_cycles += cycles
+
+    def force_off(self, cycles: int) -> None:
+        """Fail-safe gating: power the MMA off immediately, skipping
+        the idle-threshold wait.  The next busy tick repowers it (and
+        pays the wake latency unless a hint was seen) as usual."""
+        if cycles <= 0:
+            raise ModelError("cycles must be positive")
+        self._powered = False
+        self._idle += cycles
+        self.gated_cycles += cycles

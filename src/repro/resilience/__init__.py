@@ -1,0 +1,38 @@
+"""Resilience: deterministic fault injection + campaign tooling.
+
+Closes the loop on the paper's two defensive subsystems.  SERMiner
+(Section III-E) predicts which latch upsets are derated; the power-
+management stack (Section IV-B) is supposed to survive telemetry and
+supply upsets.  This package *attacks* both — with seeded, replayable
+faults — and classifies what actually happened:
+
+* :mod:`repro.resilience.faults` — the frozen fault taxonomy and the
+  seeded schedule generator;
+* :mod:`repro.resilience.injector` — the runtime hooks threaded through
+  the timing model and the interval sampler (strict no-op when no
+  campaign is active);
+* :mod:`repro.resilience.campaign` — the resumable campaign runner
+  (checkpoint after every run, cycle-budget watchdog, outcome
+  classification);
+* :mod:`repro.resilience.report` — the AVF-style report cross-checking
+  injection outcomes against SERMiner's derating predictions.
+"""
+
+from .faults import (CounterFault, DroopFault, Fault, FaultSchedule,
+                     LatchFlipFault, TelemetryFault, TraceFault,
+                     fault_from_json, generate_schedule)
+from .injector import (FaultInjector, InjectionRecord, get_injector,
+                       injection)
+from .campaign import (CampaignConfig, CampaignResult, CampaignRunner,
+                       OUTCOMES, RunRecord, resolve_workload)
+from .report import CampaignReport, GroupCheck, build_report
+
+__all__ = [
+    "CounterFault", "DroopFault", "Fault", "FaultSchedule",
+    "LatchFlipFault", "TelemetryFault", "TraceFault",
+    "fault_from_json", "generate_schedule",
+    "FaultInjector", "InjectionRecord", "get_injector", "injection",
+    "CampaignConfig", "CampaignResult", "CampaignRunner", "OUTCOMES",
+    "RunRecord", "resolve_workload",
+    "CampaignReport", "GroupCheck", "build_report",
+]

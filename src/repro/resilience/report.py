@@ -1,0 +1,180 @@
+"""AVF-style campaign reporting and the SERMiner cross-check.
+
+SERMiner (Section III-E) *predicts* which latch groups are derated —
+flips into them should not propagate — from clock-utilization statics.
+The campaign *measures* the same thing: every latch-flip injection
+records whether it propagated at the injection site.  This module
+joins the two views per latch group:
+
+* **predicted vulnerable** — the group's switching activity on the
+  campaign workload meets the VT threshold (the same rule
+  :class:`~repro.reliability.serminer.SERMiner` applies);
+* **observed propagated** — at least one injected flip into the group
+  propagated.
+
+Agreement between the columns is the end-to-end validation of the
+derating claim; the report also carries the campaign's outcome
+histogram and the measured AVF (fraction of latch flips that caused
+any failure), which is the quantity derating is supposed to bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.activity import ActivityCounters
+from ..errors import ResilienceError
+from ..reliability.latches import LatchPopulation
+from .campaign import OUTCOMES, CampaignResult
+
+
+@dataclass
+class GroupCheck:
+    """Prediction-vs-observation for one injected latch group."""
+
+    unit: str
+    group_index: int
+    group_kind: str
+    injections: int
+    propagated: int
+    predicted_vulnerable: bool
+
+    @property
+    def observed_vulnerable(self) -> bool:
+        return self.propagated > 0
+
+    @property
+    def agrees(self) -> bool:
+        return self.predicted_vulnerable == self.observed_vulnerable
+
+    def to_json(self) -> Dict[str, object]:
+        return {"unit": self.unit, "group_index": self.group_index,
+                "group_kind": self.group_kind,
+                "injections": self.injections,
+                "propagated": self.propagated,
+                "predicted_vulnerable": self.predicted_vulnerable,
+                "observed_vulnerable": self.observed_vulnerable,
+                "agrees": self.agrees}
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign outcomes plus the derating cross-check."""
+
+    workload: str
+    generation: str
+    runs: int
+    outcome_counts: Dict[str, int]
+    faults_by_kind: Dict[str, int]
+    latch_flips: int
+    latch_flips_propagated: int
+    vt: int
+    checks: List[GroupCheck]
+
+    @property
+    def avf(self) -> float:
+        """Architectural vulnerability proxy: fraction of latch flips
+        that propagated (lower = more derating observed)."""
+        if not self.latch_flips:
+            return 0.0
+        return self.latch_flips_propagated / self.latch_flips
+
+    @property
+    def agreement_pct(self) -> float:
+        """How often SERMiner's static call matched the injection."""
+        if not self.checks:
+            return 100.0
+        agree = sum(1 for c in self.checks if c.agrees)
+        return 100.0 * agree / len(self.checks)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"workload": self.workload,
+                "generation": self.generation,
+                "runs": self.runs,
+                "outcome_counts": dict(self.outcome_counts),
+                "faults_by_kind": dict(self.faults_by_kind),
+                "latch_flips": self.latch_flips,
+                "latch_flips_propagated": self.latch_flips_propagated,
+                "avf": self.avf,
+                "vt": self.vt,
+                "agreement_pct": self.agreement_pct,
+                "checks": [c.to_json() for c in self.checks]}
+
+    def render_text(self) -> str:
+        lines = [
+            f"fault campaign: {self.runs} run(s) of {self.workload} "
+            f"on {self.generation}",
+            "outcomes: " + "  ".join(
+                f"{name}={self.outcome_counts.get(name, 0)}"
+                for name in OUTCOMES),
+            f"latch flips: {self.latch_flips} injected, "
+            f"{self.latch_flips_propagated} propagated "
+            f"(AVF {self.avf:.2f})",
+            f"SERMiner cross-check @ VT={self.vt}%: "
+            f"{self.agreement_pct:.0f}% agreement over "
+            f"{len(self.checks)} injected group(s)",
+        ]
+        for check in self.checks:
+            mark = "ok" if check.agrees else "MISMATCH"
+            lines.append(
+                f"  {check.unit:10s} g{check.group_index:<3d} "
+                f"{check.group_kind:7s} inj={check.injections:<3d} "
+                f"prop={check.propagated:<3d} "
+                f"predicted={'vuln' if check.predicted_vulnerable else 'derated':7s} "
+                f"[{mark}]")
+        return "\n".join(lines)
+
+
+def build_report(result: CampaignResult,
+                 population: LatchPopulation,
+                 golden_activity: ActivityCounters, *,
+                 vt: int = 50) -> CampaignReport:
+    """Join campaign records with SERMiner's static prediction."""
+    if not 0 < vt <= 100:
+        raise ResilienceError(f"VT must be in (0, 100]: {vt}")
+    switching = population.switching(golden_activity)
+    predicted = {(g.unit, g.index): s >= max(1.0 - vt / 100.0, 1e-9)
+                 for g, s in switching.items()}
+    kinds = {(g.unit, g.index): g.kind for g in population.groups}
+
+    faults_by_kind: Dict[str, int] = {}
+    flips = 0
+    flips_propagated = 0
+    per_group: Dict[tuple, Dict[str, int]] = {}
+    for record in result.records:
+        for injection in record.injections:
+            fault = injection["fault"]
+            kind = str(fault.get("kind"))
+            faults_by_kind[kind] = faults_by_kind.get(kind, 0) + 1
+            if kind != "latch_flip":
+                continue
+            flips += 1
+            key = (str(fault["unit"]), int(fault["group_index"]))
+            stats = per_group.setdefault(
+                key, {"injections": 0, "propagated": 0})
+            stats["injections"] += 1
+            if injection.get("propagated"):
+                stats["propagated"] += 1
+                flips_propagated += 1
+
+    checks = []
+    for key in sorted(per_group):
+        stats = per_group[key]
+        checks.append(GroupCheck(
+            unit=key[0], group_index=key[1],
+            group_kind=kinds.get(key, "control"),
+            injections=stats["injections"],
+            propagated=stats["propagated"],
+            predicted_vulnerable=bool(predicted.get(key, False))))
+
+    return CampaignReport(
+        workload=result.config.workload,
+        generation=result.config.generation,
+        runs=len(result.records),
+        outcome_counts=result.counts(),
+        faults_by_kind=faults_by_kind,
+        latch_flips=flips,
+        latch_flips_propagated=flips_propagated,
+        vt=vt,
+        checks=checks)
