@@ -11,53 +11,12 @@ of the paper's efficiency story each mechanism carries:
 * MMA power gating while idle
 """
 
-import dataclasses
-
 from repro.analysis import format_table
-from repro.core import power10_config
-from repro.core.pipeline import simulate
-from repro.power import EinspowerModel
-from repro.workloads import specint_proxies
-
-
-def _suite_run(config, traces):
-    ipc_sum = power_sum = 0.0
-    model = EinspowerModel(config)
-    for trace in traces:
-        result = simulate(config, trace, warmup_fraction=0.3)
-        ipc_sum += result.ipc
-        power_sum += model.report(result.activity).total_w
-    return ipc_sum / len(traces), power_sum / len(traces)
+from repro.exec.figs import ablations
 
 
 def _measure():
-    traces = specint_proxies(instructions=5000,
-                             names=["xz", "leela", "x264", "exchange2"])
-    base = power10_config()
-    variants = {"POWER10 (full)": base}
-
-    variants["no EA-tagged L1"] = dataclasses.replace(
-        base, ea_tagged_l1=False)
-    variants["no fusion"] = dataclasses.replace(
-        base, front_end=dataclasses.replace(
-            base.front_end, fusion_enabled=False))
-    variants["no store merge"] = dataclasses.replace(
-        base, lsu=dataclasses.replace(
-            base.lsu, store_merge_enabled=False))
-    variants["gate-after clocks"] = dataclasses.replace(
-        base, power=dataclasses.replace(
-            base.power, gating_floor=0.52))
-    results = {}
-    for name, config in variants.items():
-        results[name] = _suite_run(config, traces)
-    # MMA idle gating (power model flag, not a config change)
-    model = EinspowerModel(base)
-    run = simulate(base, traces[0], warmup_fraction=0.3)
-    results["MMA gated (idle)"] = (
-        run.ipc, model.report(run.activity, mma_powered=False).total_w)
-    results["MMA powered (idle)"] = (
-        run.ipc, model.report(run.activity, mma_powered=True).total_w)
-    return results
+    return ablations(scale=1.0)
 
 
 def test_ablations(benchmark, once, capsys):

@@ -7,32 +7,12 @@ with vectorized math.  The paper reports ~5000x on the Awan platform;
 the algorithmic contrast here lands in the thousands as well.
 """
 
-import time
-
 from repro.analysis import format_table
-from repro.core import power10_config
-from repro.core.pipeline import simulate
-from repro.power import apex_power_from_activity, detailed_reference_power
-from repro.workloads import specint_suite
+from repro.exec.figs import apex_speedup
 
 
 def _measure():
-    config = power10_config()
-    trace = specint_suite(instructions=30000, footprint_scale=8,
-                          names=["xz"])[0]
-    activity = simulate(config, trace, warmup_fraction=0.2).activity
-
-    t0 = time.perf_counter()
-    slow = detailed_reference_power(config, activity)
-    t_slow = time.perf_counter() - t0
-
-    # amortize timer resolution over repetitions of the fast path
-    reps = 200
-    t0 = time.perf_counter()
-    for _ in range(reps):
-        fast = apex_power_from_activity(config, activity)
-    t_fast = (time.perf_counter() - t0) / reps
-    return slow, fast, t_slow, t_fast
+    return apex_speedup(scale=1.0)
 
 
 def test_apex_speedup(benchmark, once, capsys):

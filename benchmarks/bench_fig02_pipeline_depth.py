@@ -6,12 +6,12 @@ curve per core power target.  Paper result: the optimum holds at
 """
 
 from repro.analysis import format_series
-from repro.power import depth_study, optimal_fo4
+from repro.exec.figs import fig02_pipeline_depth
+from repro.power import optimal_fo4
 
 
 def _study():
-    return depth_study(fo4_values=tuple(range(9, 46, 2)),
-                       budgets=(0.5, 0.7, 0.85, 1.0))
+    return fig02_pipeline_depth(scale=1.0)
 
 
 def test_fig02_pipeline_depth(benchmark, once, capsys):

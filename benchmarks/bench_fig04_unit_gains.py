@@ -9,59 +9,13 @@ Paper (SMT8 SPECint averages): branch ~4%, latency+BW ~10%, L2 ~9%,
 decode+VSX ~5%, queues ~4%; flush reduction 25%.
 """
 
-import statistics
-
 from repro.analysis import format_table
-from repro.core import (FEATURE_NAMES, apply_features, power9_config,
-                        power10_config)
-from repro.core.pipeline import simulate
-from repro.workloads import merge_smt, specint_suite
-
-_SCALE = 8
-_N = 24000
+from repro.core import FEATURE_NAMES
+from repro.exec.figs import fig04_unit_gains
 
 
 def _measure():
-    traces_st = specint_suite(instructions=_N, footprint_scale=_SCALE)
-    traces_smt8 = [merge_smt([t] * 8, name=f"{t.name}-smt8")
-                   for t in specint_suite(instructions=_N // 4,
-                                          footprint_scale=_SCALE)]
-    out = {}
-    base_st = {t.name: simulate(power9_config(cache_scale=_SCALE), t,
-                                warmup_fraction=0.4).ipc
-               for t in traces_st}
-    base_smt = {t.name: simulate(
-        power9_config(smt=8, cache_scale=_SCALE), t,
-        warmup_fraction=0.4).ipc for t in traces_smt8}
-    for feature in FEATURE_NAMES:
-        st_gains, smt_gains = [], []
-        for t in traces_st:
-            cfg = apply_features(power9_config(cache_scale=_SCALE),
-                                 [feature])
-            st_gains.append(
-                simulate(cfg, t, warmup_fraction=0.4).ipc
-                / base_st[t.name] - 1)
-        for t in traces_smt8:
-            cfg = apply_features(
-                power9_config(smt=8, cache_scale=_SCALE), [feature])
-            smt_gains.append(
-                simulate(cfg, t, warmup_fraction=0.4).ipc
-                / base_smt[t.name] - 1)
-        out[feature] = {
-            "st_mean": statistics.mean(st_gains),
-            "st_max": max(st_gains),
-            "smt8_mean": statistics.mean(smt_gains),
-            "smt8_max": max(smt_gains),
-        }
-    # flush reduction (full POWER10 vs POWER9, ST)
-    f9 = f10 = 0
-    for t in traces_st:
-        f9 += simulate(power9_config(cache_scale=_SCALE), t,
-                       warmup_fraction=0.4).flushed_instructions
-        f10 += simulate(power10_config(cache_scale=_SCALE), t,
-                        warmup_fraction=0.4).flushed_instructions
-    out["flush_reduction"] = 1 - f10 / f9
-    return out
+    return fig04_unit_gains(scale=1.0)
 
 
 PAPER_SMT8 = {"branch": 0.04, "latency_bw": 0.10, "l2_cache": 0.09,

@@ -8,37 +8,12 @@ Paper: P10 VSU 1.95x FLOPs/cycle at -32.2% power; P10 MMA 5.47x at
 -24.1%; absolute 9.94 (62.1% of peak) and 27.9 (87.1% of peak).
 """
 
-import statistics
-
 from repro.analysis import format_table
-from repro.core import power9_config, power10_config
-from repro.core.pipeline import simulate
-from repro.power import EinspowerModel
-from repro.workloads import dgemm_mma_trace, dgemm_vsu_trace
-
-
-def _windowed(config, trace, window_cycles=5000):
-    """Average FLOPs/cycle and power over ~5K-cycle windows."""
-    probe = simulate(config, trace, warmup_fraction=0.2)
-    instr_per_window = max(200, int(window_cycles / probe.cpi))
-    flops, power = [], []
-    for window in trace.windows(instr_per_window):
-        result = simulate(config, window)
-        flops.append(result.flops_per_cycle)
-        power.append(EinspowerModel(config)
-                     .report(result.activity).total_w)
-    return statistics.mean(flops), statistics.mean(power)
+from repro.exec.figs import fig05_dgemm
 
 
 def _measure():
-    p9, p10 = power9_config(), power10_config()
-    vsu = dgemm_vsu_trace(2500)
-    mma = dgemm_mma_trace(2500)
-    return {
-        "p9_vsu": _windowed(p9, vsu),
-        "p10_vsu": _windowed(p10, vsu),
-        "p10_mma": _windowed(p10, mma),
-    }
+    return fig05_dgemm(scale=1.0)
 
 
 def test_fig05_dgemm(benchmark, once, capsys):

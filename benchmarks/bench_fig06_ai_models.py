@@ -9,8 +9,7 @@ socket: up to 10x FP32 and 21x INT8.
 """
 
 from repro.analysis import format_table
-from repro.workloads.ai import (bert_large_profile, figure6_rows,
-                                resnet50_profile, socket_ai_speedup)
+from repro.exec.figs import fig06_ai_models
 
 PAPER = {
     "ResNet-50": {"POWER10 w/o MMA": 2.25, "POWER10 w/ MMA": 3.55},
@@ -19,14 +18,7 @@ PAPER = {
 
 
 def _measure():
-    out = {}
-    for profile in (resnet50_profile(), bert_large_profile()):
-        out[profile.name] = {
-            "rows": figure6_rows(profile),
-            "socket_fp32": socket_ai_speedup(profile),
-            "socket_int8": socket_ai_speedup(profile, dtype="int8"),
-        }
-    return out
+    return fig06_ai_models(scale=1.0)
 
 
 def test_fig06_ai_models(benchmark, once, capsys):

@@ -8,26 +8,11 @@ for absolute (WOF/PFLY) projections.
 """
 
 from repro.analysis import format_table
-from repro.core import power10_config
-from repro.power.apex import compare_core_vs_chip
-from repro.tracegen import simpoint_suite
-from repro.workloads import merge_smt, specint_suite
-
-_SCALE = 8
+from repro.exec.figs import fig10_core_vs_chip
 
 
 def _measure():
-    base = specint_suite(instructions=16000, footprint_scale=_SCALE,
-                         names=["xz", "mcf", "leela", "x264",
-                                "exchange2", "omnetpp"])
-    simpoints = simpoint_suite(base, interval=6000, max_clusters=4)
-    smt2 = [merge_smt([sp] * 2, name=f"{sp.name}-smt2")
-            for sp in simpoints]
-    core_model = power10_config(smt=2, infinite_l2=True,
-                                cache_scale=_SCALE)
-    chip_model = power10_config(smt=2, cache_scale=_SCALE)
-    return compare_core_vs_chip(core_model, chip_model, smt2,
-                                warmup_fraction=0.25)
+    return fig10_core_vs_chip(scale=1.0)
 
 
 def test_fig10_core_vs_chip(benchmark, once, capsys):

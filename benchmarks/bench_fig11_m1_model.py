@@ -6,22 +6,13 @@ error falls as inputs grow, below 2.5% at the maximum input count.
 """
 
 from repro.analysis import format_series
-from repro.core import power10_config
-from repro.power import build_training_set, input_sweep
-from repro.workloads import specint_proxies
+from repro.exec.figs import fig11_m1_model
 
 _INPUT_COUNTS = (1, 2, 4, 8, 16, 32)
 
 
 def _measure():
-    config = power10_config()
-    traces = specint_proxies(instructions=5000)
-    training = build_training_set(config, traces)
-    return {
-        "unconstrained": input_sweep(training, _INPUT_COUNTS),
-        "nonnegative": input_sweep(training, _INPUT_COUNTS,
-                                   nonnegative=True),
-    }
+    return fig11_m1_model(scale=1.0)
 
 
 def test_fig11_m1_model(benchmark, once, capsys):

@@ -7,24 +7,11 @@ the bottom-up model uses only 72 events in total.
 """
 
 from repro.analysis import format_table
-from repro.core import power10_config
-from repro.power import (build_training_set, compare_top_down_bottom_up,
-                         fit_bottom_up, fit_top_down)
-from repro.workloads import specint_proxies, specint_suite
+from repro.exec.figs import fig12_topdown_bottomup
 
 
 def _measure():
-    config = power10_config()
-    train = build_training_set(config,
-                               specint_proxies(instructions=5000))
-    eval_set = build_training_set(
-        config, specint_suite(instructions=6000, footprint_scale=8)
-        + specint_proxies(instructions=3000, names=["xz", "x264"]))
-    top = fit_top_down(train, max_inputs=16)
-    bottom = fit_bottom_up(train, max_inputs_per_component=3)
-    stats = compare_top_down_bottom_up(top, bottom, eval_set)
-    stats["top_down_inputs"] = top.num_inputs
-    return stats
+    return fig12_topdown_bottomup(scale=1.0)
 
 
 def test_fig12_topdown_bottomup(benchmark, once, capsys):

@@ -6,30 +6,11 @@ derating at VT = 10/50/90%.
 """
 
 from repro.analysis import format_table
-from repro.core import power10_config
-from repro.reliability import SERMiner
-from repro.workloads import derating_suites, specint_proxies
+from repro.exec.figs import fig13_derating
 
 
 def _measure():
-    miner = SERMiner(power10_config())
-    suites = {}
-    for trace in derating_suites(smt_levels=(1, 2, 4),
-                                 instructions=1500):
-        suites[trace.name] = [trace]
-    spec = specint_proxies(instructions=2500,
-                           names=["xz", "x264", "leela"])
-    for smt, label in ((1, "st_spec"), (2, "smt2_spec"),
-                       (4, "smt4_spec")):
-        from repro.workloads import merge_smt
-        if smt == 1:
-            suites[label] = spec
-        else:
-            suites[label] = [merge_smt([t] * smt, name=f"{t.name}x{smt}")
-                             for t in spec]
-    results = SERMiner(power10_config()).per_suite(
-        suites, vt_values=(10, 50, 90))
-    return results
+    return fig13_derating(scale=1.0)
 
 
 def test_fig13_derating(benchmark, once, capsys):

@@ -7,19 +7,13 @@ protection, which is what lowers the RAS power overhead.
 """
 
 from repro.analysis import format_series
-from repro.core import power9_config, power10_config
-from repro.reliability import compare_generations
-from repro.workloads import derating_suites, specint_proxies
+from repro.exec.figs import fig14_generation_derating
 
 _VT = tuple(range(10, 100, 20))
 
 
 def _measure():
-    suites = derating_suites(smt_levels=(1, 2, 4), instructions=1500)
-    suites += specint_proxies(instructions=2500,
-                              names=["xz", "x264", "leela"])
-    return compare_generations(power9_config(), power10_config(),
-                               suites, vt_values=_VT)
+    return fig14_generation_derating(scale=1.0)
 
 
 def test_fig14_generation_derating(benchmark, once, capsys):

@@ -8,23 +8,11 @@ space — the paper picked a 16-counter design with 9.8% active error,
 """
 
 from repro.analysis import format_table
-from repro.core import power10_config
-from repro.power import PowerProxyDesigner
-from repro.workloads import specint_proxies
-
-_GRANULARITIES = (10, 25, 50, 100, 400, 1600)
+from repro.exec.figs import fig15_power_proxy
 
 
 def _measure():
-    designer = PowerProxyDesigner(power10_config())
-    traces = specint_proxies(instructions=6000)
-    feats, active, total = designer.characterize(traces)
-    space = designer.design_space(feats, active, total,
-                                  counter_budgets=(2, 4, 8, 16, 32))
-    design = designer.select(feats, active, total, num_counters=16)
-    gran = designer.granularity_error(design, traces[0].repeated(3),
-                                      _GRANULARITIES)
-    return space, design, gran
+    return fig15_power_proxy(scale=1.0)
 
 
 def test_fig15_power_proxy(benchmark, once, capsys):

@@ -10,30 +10,12 @@ proxy counts, plus the Tracepoints-vs-SimPoint CPI fidelity comparison.
 import statistics
 
 from repro.analysis import format_table
-from repro.core import power9_config
-from repro.tracegen import (build_tracepoint, pick_simpoints,
-                            validate_against_reference)
-from repro.workloads import (PROXY_COVERAGE, SPECINT_NAMES,
-                             specint_proxies, specint_suite,
-                             suite_coverage)
+from repro.exec.figs import proxy_coverage
+from repro.workloads import PROXY_COVERAGE
 
 
 def _measure():
-    per_bench = {}
-    for name in SPECINT_NAMES:
-        proxies = specint_proxies(instructions=6000, names=[name])
-        per_bench[name] = (len(proxies), suite_coverage(proxies))
-    # Tracepoints vs SimPoint fidelity on one workload
-    config = power9_config(cache_scale=8)
-    app = specint_suite(instructions=16000, footprint_scale=8,
-                        names=["leela"])[0]
-    tp = build_tracepoint(config, app, epoch_instructions=1600,
-                          epochs_to_select=4)
-    tp_stats = validate_against_reference(config, app, tp.trace)
-    sp = pick_simpoints(app, interval=1600, max_clusters=4)
-    best_sp = max(sp.simpoints, key=lambda s: s.weight)
-    sp_stats = validate_against_reference(config, app, best_sp.trace)
-    return per_bench, tp_stats, sp_stats
+    return proxy_coverage(scale=1.0)
 
 
 def test_proxy_coverage(benchmark, once, capsys):

@@ -6,42 +6,18 @@ on the SPECint proxy suite, the same workload basis the paper used.
 """
 
 from repro.analysis import format_table
-from repro.core import (POWER9_SOCKET, POWER10_SOCKET, power9_config,
-                        power10_config, project_socket)
-from repro.core.pipeline import simulate
-from repro.power import EinspowerModel
-from repro.workloads import specint_proxies
+from repro.core import POWER10_SOCKET, power9_config, power10_config
+from repro.exec.figs import table1_efficiency
 
 
 def _core_efficiency():
-    proxies = specint_proxies(instructions=8000)
-    p9, p10 = power9_config(), power10_config()
-    rows = []
-    for trace in proxies:
-        r9 = simulate(p9, trace, warmup_fraction=0.3)
-        r10 = simulate(p10, trace, warmup_fraction=0.3)
-        w9 = EinspowerModel(p9).report(r9.activity).total_w
-        w10 = EinspowerModel(p10).report(r10.activity).total_w
-        rows.append((trace.weight, r10.ipc / r9.ipc, w10 / w9,
-                     r9.ipc, w9, r10.ipc, w10))
-    total = sum(r[0] for r in rows)
-    wavg = lambda idx: sum(r[0] * r[idx] for r in rows) / total
-    return {
-        "perf_ratio": wavg(1),
-        "power_ratio": wavg(2),
-        "p9_ipc": wavg(3), "p9_w": wavg(4),
-        "p10_ipc": wavg(5), "p10_w": wavg(6),
-    }
+    return table1_efficiency(scale=1.0)
 
 
 def test_table1(benchmark, once, capsys):
     stats = once(benchmark, _core_efficiency)
-    core_eff = stats["perf_ratio"] / stats["power_ratio"]
-    p9_socket = project_socket(POWER9_SOCKET, stats["p9_ipc"],
-                               stats["p9_w"])
-    p10_socket = project_socket(POWER10_SOCKET, stats["p10_ipc"],
-                                stats["p10_w"])
-    socket_eff = p10_socket.efficiency / p9_socket.efficiency
+    core_eff = stats["core_eff"]
+    socket_eff = stats["socket_eff"]
 
     p10 = power10_config()
     with capsys.disabled():

@@ -213,7 +213,7 @@ def _cmd_yield(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core import power9_config, power10_config, simulate_trace
-    from .resilience.campaign import resolve_workload
+    from .workloads import resolve_workload
 
     config = power9_config() if args.config == "power9" \
         else power10_config()
@@ -339,6 +339,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if result.count_at_least(threshold) else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .exec.benchrun import main as bench_main
+
+    argv = list(args.scenarios)
+    if args.list:
+        argv.append("--list")
+    if args.quick:
+        argv.append("--quick")
+    argv += ["--scale", str(args.scale), "--out", args.out]
+    if args.no_sweep:
+        argv.append("--no-sweep")
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    return bench_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     telemetry = argparse.ArgumentParser(add_help=False)
     telemetry.add_argument(
@@ -448,6 +466,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SERMiner vulnerability threshold %% for the "
                         "cross-check (default 50)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the paper-figure benchmarks through the parallel "
+             "cached execution engine; writes BENCH_*.json")
+    p.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                   help="scenario names (default: all; --list shows "
+                        "them)")
+    p.add_argument("--list", action="store_true",
+                   help="list scenario names and exit")
+    p.add_argument("--quick", action="store_true",
+                   help="run every scenario at its reduced "
+                        "golden-harness scale")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="instruction-budget scale factor (default 1.0)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool width (default: $REPRO_WORKERS "
+                        "or 1)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache (default: "
+                        "$REPRO_CACHE_DIR or off)")
+    p.add_argument("--out", default=".", metavar="DIR",
+                   help="directory for BENCH_*.json artifacts "
+                        "(default .)")
+    p.add_argument("--no-sweep", action="store_true",
+                   help="skip the serial/parallel/cached timing sweep")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "lint",

@@ -22,33 +22,55 @@ from .activity import ActivityCounters
 
 def simulate_trace(config: CoreConfig, trace, *,
                    with_power: bool = True,
-                   sampler=None) -> "RunMeasurement":
+                   sampler=None,
+                   warmup_fraction: float = 0.0,
+                   max_instructions: Optional[int] = None,
+                   ) -> "RunMeasurement":
     """Simulate one trace; optionally attach an Einspower power report.
 
     ``sampler`` (a :class:`repro.obs.sampler.CycleIntervalSampler`) is
-    forwarded to the timing model for interval telemetry capture.
+    forwarded to the timing model for interval telemetry capture;
+    ``warmup_fraction``/``max_instructions`` pass through to
+    :func:`repro.core.pipeline.simulate`.
     """
     with _obs_span("simulator.simulate_trace", "core",
                    config=config.name,
                    trace=getattr(trace, "name", "?")) as sp:
-        result = simulate(config, trace, sampler=sampler)
-        power_w = None
-        breakdown = None
-        if with_power:
-            from ..power.einspower import EinspowerModel
-            report = EinspowerModel(config).report(result.activity)
-            power_w = report.total_w
-            breakdown = report
-            sp.set(power_w=round(power_w, 3))
+        result = simulate(config, trace, sampler=sampler,
+                          warmup_fraction=warmup_fraction,
+                          max_instructions=max_instructions)
+        measurement = measurement_from_result(config, result,
+                                              with_power=with_power)
+        if measurement.power_w is not None:
+            sp.set(power_w=round(measurement.power_w, 3))
         registry = get_registry()
-        registry.counter(
-            "repro_runs_total",
-            "simulate_trace invocations").inc(
-                config=config.name, power=with_power)
         registry.histogram(
             "repro_run_seconds",
             "wall time of simulate_trace").observe(
                 sp.duration_s, config=config.name)
+    return measurement
+
+
+def measurement_from_result(config: CoreConfig, result: SimResult, *,
+                            with_power: bool = True) -> "RunMeasurement":
+    """Attach the power report to an existing timing result.
+
+    Shared by the direct path above and the engine path below: power is
+    always recomputed in the calling process from the (exact) activity
+    counters, so a cached or worker-produced :class:`SimResult` yields
+    a bit-identical :class:`RunMeasurement`.
+    """
+    power_w = None
+    breakdown = None
+    if with_power:
+        from ..power.einspower import EinspowerModel
+        report = EinspowerModel(config).report(result.activity)
+        power_w = report.total_w
+        breakdown = report
+    get_registry().counter(
+        "repro_runs_total",
+        "simulate_trace invocations").inc(
+            config=config.name, power=with_power)
     return RunMeasurement(result=result, power_w=power_w,
                           power_report=breakdown)
 
@@ -143,22 +165,57 @@ class SuiteResult:
 
 
 def simulate_suite(config: CoreConfig, traces: Sequence,
-                   with_power: bool = True, sampler=None) -> SuiteResult:
+                   with_power: bool = True, sampler=None,
+                   engine=None) -> SuiteResult:
     """Run a whole trace suite and aggregate by trace weight.
 
-    A shared ``sampler`` collects one telemetry segment per trace (run
-    labels distinguish them)."""
-    runs = [simulate_trace(config, t, with_power=with_power,
-                           sampler=sampler)
-            for t in traces]
+    Runs route through the execution engine
+    (:class:`repro.exec.Engine`), so worker fan-out and the result
+    cache apply; pass ``engine`` to share one across calls, or leave it
+    None for the environment default (``$REPRO_WORKERS`` /
+    ``$REPRO_CACHE_DIR``).  A shared ``sampler`` collects one telemetry
+    segment per trace (run labels distinguish them) and forces the
+    direct in-process path, since samplers are stateful.
+    """
+    if sampler is not None:
+        runs = [simulate_trace(config, t, with_power=with_power,
+                               sampler=sampler)
+                for t in traces]
+    else:
+        from ..exec.executor import Engine, run_sim_plan, sim_task
+        if engine is None:
+            engine = Engine()
+        results = run_sim_plan(
+            engine, [sim_task(config, t) for t in traces])
+        runs = [measurement_from_result(config, r,
+                                        with_power=with_power)
+                for r in results]
     weights = [getattr(t, "weight", 1.0) for t in traces]
     return SuiteResult(runs=runs, weights=weights)
 
 
 def compare_configs(configs: Sequence[CoreConfig], traces: Sequence,
-                    with_power: bool = True) -> Dict[str, SuiteResult]:
-    """Run the same suite across configs; keys are config names."""
+                    with_power: bool = True,
+                    engine=None) -> Dict[str, SuiteResult]:
+    """Run the same suite across configs; keys are config names.
+
+    All (config, trace) runs go to the engine as one flat plan, so
+    ``workers=N`` parallelizes across the whole cross product rather
+    than one suite at a time.
+    """
+    from ..exec.executor import Engine, run_sim_plan, sim_task
+    if engine is None:
+        engine = Engine()
+    traces = list(traces)
+    results = run_sim_plan(
+        engine, [sim_task(c, t) for c in configs for t in traces])
+    weights = [getattr(t, "weight", 1.0) for t in traces]
     out: Dict[str, SuiteResult] = {}
-    for config in configs:
-        out[config.name] = simulate_suite(config, traces, with_power)
+    for ci, config in enumerate(configs):
+        block = results[ci * len(traces):(ci + 1) * len(traces)]
+        runs = [measurement_from_result(config, r,
+                                        with_power=with_power)
+                for r in block]
+        out[config.name] = SuiteResult(runs=runs,
+                                       weights=list(weights))
     return out

@@ -35,6 +35,11 @@ class LintError(ReproError):
     missing contract tables, malformed baseline file)."""
 
 
+class ExecError(ReproError):
+    """The parallel execution engine was misused (unknown task kind,
+    invalid cache key, unpicklable payload, failed worker)."""
+
+
 class ResilienceError(ReproError):
     """The fault-injection layer was misused (malformed fault schedule,
     conflicting active injectors, corrupt campaign checkpoint)."""

@@ -1,0 +1,290 @@
+"""Content-addressed result cache for deterministic simulation tasks.
+
+The paper's methodology exists because pre-silicon power/performance
+evaluation must be *fast enough to iterate* (Section III-C: APEX trades
+per-cycle integration for interval extraction at ~5000x).  This module
+attacks the same cost from the other side: a deterministic model never
+needs to run the same (configuration, workload, seed) twice.  A run is
+fingerprinted as::
+
+    key = sha256(config fingerprint, trace fingerprint, seed/params,
+                 code-version salt)
+
+and its JSON-serialized result is stored in an on-disk store with
+atomic writes.  The code-version salt hashes the model's own source
+tree, so *any* model change invalidates every cached result — a cache
+hit is by construction bit-identical to a rerun.
+
+Hits and misses are reported through :mod:`repro.obs.metrics`
+(``repro_exec_cache_hits_total`` / ``repro_exec_cache_misses_total``);
+the store can be explicitly invalidated per key or cleared wholesale.
+The default store location is taken from ``$REPRO_CACHE_DIR``; with the
+variable unset, caching is off unless a path is passed explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.activity import ActivityCounters
+from ..core.config import CoreConfig
+from ..core.pipeline import SimResult
+from ..errors import ExecError
+from ..obs.metrics import get_registry
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+# Packages whose source participates in the code-version salt: the
+# model layers whose behavior determines any cacheable result.  The
+# observability/lint layers are deliberately excluded — they carry the
+# "telemetry off => bit-identical results" guarantee, so their changes
+# cannot change model output.
+_SALT_PACKAGES = ("core", "power", "pm", "workloads", "reliability",
+                  "resilience", "tracegen", "exec")
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of the model source tree (cached per process).
+
+    Fingerprints every ``.py`` file under the model packages, so a
+    cached result can never survive a model change.
+    """
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for pkg in _SALT_PACKAGES:
+            root = package_root / pkg
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*.py")):
+                digest.update(str(path.relative_to(package_root)).encode())
+                digest.update(path.read_bytes())
+        _code_salt = digest.hexdigest()[:16]
+    return _code_salt
+
+
+def _canonical(value: object) -> object:
+    """Reduce a value to canonical JSON-able form for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def fingerprint_config(config: CoreConfig) -> str:
+    """Stable fingerprint of every field of a core configuration."""
+    payload = json.dumps(_canonical(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def fingerprint_trace(trace) -> str:
+    """Stable fingerprint of a workload trace's instruction stream.
+
+    Covers the fields the timing model consumes (class, registers,
+    addresses, branch outcomes, FLOPs, pc, thread) plus the trace
+    identity/weight used for suite aggregation.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr((getattr(trace, "name", "?"),
+                        getattr(trace, "suite", ""),
+                        getattr(trace, "weight", 1.0))).encode())
+    for instr in trace.instructions:
+        digest.update(repr((
+            instr.iclass.value, instr.dests, instr.srcs, instr.address,
+            instr.size, instr.taken, instr.target, instr.flops,
+            instr.pc, instr.thread)).encode())
+    return digest.hexdigest()[:16]
+
+
+def task_fingerprint(*parts: object) -> str:
+    """Combine fingerprints/parameters (+ the code salt) into one key."""
+    payload = json.dumps([_canonical(p) for p in parts] + [code_salt()],
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+# --------------------------------------------------------------------------
+# SimResult <-> JSON codec.
+#
+# The store keeps results as JSON.  Python's JSON float round-trip is
+# exact (repr-based), so a decoded result is bit-identical to the
+# encoded one — the property the engine's cached-vs-uncached guarantee
+# rests on.
+# --------------------------------------------------------------------------
+
+def activity_to_json(act: ActivityCounters) -> Dict[str, object]:
+    return {"cycles": act.cycles,
+            "instructions": act.instructions,
+            "events": dict(act.events),
+            "unit_busy_cycles": dict(act.unit_busy_cycles)}
+
+
+def activity_from_json(data: Dict[str, object]) -> ActivityCounters:
+    try:
+        act = ActivityCounters(cycles=int(data["cycles"]),
+                               instructions=int(data["instructions"]))
+        act.events = {str(k): int(v)
+                      for k, v in dict(data["events"]).items()}
+        act.unit_busy_cycles = {
+            str(k): int(v)
+            for k, v in dict(data["unit_busy_cycles"]).items()}
+        return act
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExecError(f"malformed cached activity: {exc}") from exc
+
+
+def sim_result_to_json(result: SimResult) -> Dict[str, object]:
+    return {
+        "config_name": result.config_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "activity": activity_to_json(result.activity),
+        "flushed_instructions": result.flushed_instructions,
+        "mispredicts": result.mispredicts,
+        "flops": result.flops,
+        "l1d_miss_rate": result.l1d_miss_rate,
+        "l2_miss_rate": result.l2_miss_rate,
+        "fusion_rate": result.fusion_rate,
+        "branch_mpki": result.branch_mpki,
+        "metadata": dict(result.metadata),
+    }
+
+
+def sim_result_from_json(data: Dict[str, object]) -> SimResult:
+    try:
+        return SimResult(
+            config_name=str(data["config_name"]),
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            activity=activity_from_json(dict(data["activity"])),
+            flushed_instructions=int(data["flushed_instructions"]),
+            mispredicts=int(data["mispredicts"]),
+            flops=int(data["flops"]),
+            l1d_miss_rate=float(data["l1d_miss_rate"]),
+            l2_miss_rate=float(data["l2_miss_rate"]),
+            fusion_rate=float(data["fusion_rate"]),
+            branch_mpki=float(data["branch_mpki"]),
+            metadata=dict(data["metadata"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExecError(f"malformed cached result: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# The on-disk store.
+# --------------------------------------------------------------------------
+
+class ResultCache:
+    """A directory of ``<key>.json`` payloads, written atomically.
+
+    Keys are hex fingerprints from :func:`task_fingerprint`; payloads
+    are JSON-serializable dicts.  Writes go through a temp file +
+    ``os.replace`` so a killed process can never leave a torn entry,
+    and a corrupt entry reads as a miss (and is dropped), never as an
+    error — a cache can always be regenerated.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """The ``$REPRO_CACHE_DIR`` store, or None when unset/empty."""
+        root = os.environ.get(ENV_CACHE_DIR, "").strip()
+        return cls(root) if root else None
+
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not _KEY_RE.match(key):
+            raise ExecError(f"invalid cache key: {key!r}")
+        return key
+
+    def _path(self, key: str) -> Path:
+        key = self._check_key(key)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, *, kind: str = "task") -> Optional[Dict]:
+        path = self._path(key)
+        registry = get_registry()
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            payload = None
+        except (OSError, json.JSONDecodeError):
+            # torn/corrupt entry: treat as a miss and drop it
+            self.invalidate(key)
+            payload = None
+        if payload is None:
+            self.misses += 1
+            registry.counter(
+                "repro_exec_cache_misses_total",
+                "result-cache lookups that missed").inc(kind=kind)
+            return None
+        self.hits += 1
+        registry.counter(
+            "repro_exec_cache_hits_total",
+            "result-cache lookups served from disk").inc(kind=kind)
+        return payload
+
+    def put(self, key: str, payload: Dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns True when something was removed."""
+        path = self._path(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for path in sorted(self.root.rglob("*.json")):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def keys(self) -> List[str]:
+        return sorted(p.stem for p in self.root.rglob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+
+def resolve_cache(cache: Union["ResultCache", str, os.PathLike, None],
+                  ) -> Optional[ResultCache]:
+    """Normalize a cache argument: pass-through, path, or env default."""
+    if cache is None:
+        return ResultCache.from_env()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

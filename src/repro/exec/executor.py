@@ -1,0 +1,265 @@
+"""Deterministic parallel fan-out over pure simulation tasks.
+
+The engine executes an :class:`ExecPlan` — an ordered list of
+:class:`ExecTask` (kind + content-addressed key + picklable payload) —
+with three interchangeable strategies that are *guaranteed* (and
+test-enforced) to produce bit-identical results:
+
+* serial, in-process (``workers=1``, the default);
+* fan-out across a ``ProcessPoolExecutor`` (``workers=N``), with
+  order-independent assembly: results are collected by task index as
+  workers finish, then reassembled in plan order, so submission and
+  completion order never influence output;
+* cache replay: keys found in the :class:`~repro.exec.cache.ResultCache`
+  skip execution entirely and return the stored JSON payload, which the
+  codec round-trips exactly.
+
+The guarantee holds because every registered task kind is a pure
+function of its payload (the timing model is deterministic, per-run
+seeds are pure functions of their inputs) and results cross process
+boundaries as canonical JSON.
+
+Worker count resolves from the ``workers`` argument, else
+``$REPRO_WORKERS``, else 1; the cache from the ``cache`` argument, else
+``$REPRO_CACHE_DIR``, else off.  Note that metrics incremented inside
+worker processes (e.g. ``repro_simulations_total``) stay in the worker:
+the parent registry only sees the engine's own
+``repro_exec_tasks_total`` / batch-latency series.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import CoreConfig
+from ..core.pipeline import SimResult, simulate
+from ..errors import ExecError
+from ..obs.metrics import get_registry
+from ..obs.tracing import span as _obs_span
+from .cache import (ResultCache, fingerprint_config, fingerprint_trace,
+                    resolve_cache, sim_result_from_json,
+                    sim_result_to_json, task_fingerprint)
+
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class ExecTask:
+    """One pure unit of work.
+
+    ``key`` is the content-addressed fingerprint of ``payload`` (plus
+    the code salt), so equal keys imply equal results; ``payload`` must
+    be picklable for the process-pool path.
+    """
+
+    kind: str
+    key: str
+    payload: object
+
+
+@dataclass
+class ExecPlan:
+    """An ordered batch of tasks; results come back in this order."""
+
+    tasks: List[ExecTask] = field(default_factory=list)
+
+    def add(self, task: ExecTask) -> ExecTask:
+        self.tasks.append(task)
+        return task
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+# ---- task kinds ----------------------------------------------------------
+#
+# A task runner maps payload -> JSON-serializable dict.  Runners must be
+# top-level functions (picklable by reference) and pure in their
+# payload; they execute in worker processes under workers>1.
+
+def _run_sim(payload) -> Dict[str, object]:
+    config, trace, params = payload
+    result = simulate(
+        config, trace,
+        max_instructions=params.get("max_instructions"),
+        warmup_fraction=params.get("warmup_fraction", 0.0))
+    return sim_result_to_json(result)
+
+
+# Per-process campaign-runner cache: building a CampaignRunner resolves
+# the workload trace and the golden reference once, which every
+# subsequent run_one() of the same campaign reuses.
+_CAMPAIGN_RUNNERS: Dict[str, object] = {}
+
+
+def _run_campaign(payload) -> Dict[str, object]:
+    config, index = payload
+    from ..resilience.campaign import CampaignRunner
+    fp = config.fingerprint()
+    runner = _CAMPAIGN_RUNNERS.get(fp)
+    if runner is None:
+        _CAMPAIGN_RUNNERS.clear()
+        runner = _CAMPAIGN_RUNNERS[fp] = CampaignRunner(config)
+    return runner.run_one(int(index)).to_json()
+
+
+_TASK_RUNNERS = {
+    "sim": _run_sim,
+    "campaign": _run_campaign,
+}
+
+
+def register_task_kind(kind: str, runner) -> None:
+    """Register a new pure task kind (top-level function, JSON out)."""
+    if kind in _TASK_RUNNERS and _TASK_RUNNERS[kind] is not runner:
+        raise ExecError(f"task kind {kind!r} already registered")
+    _TASK_RUNNERS[kind] = runner
+
+
+def _execute_task(task: ExecTask) -> Dict[str, object]:
+    """Run one task (this is what worker processes execute)."""
+    runner = _TASK_RUNNERS.get(task.kind)
+    if runner is None:
+        raise ExecError(f"unknown task kind {task.kind!r}")
+    return runner(task.payload)
+
+
+# ---- task builders -------------------------------------------------------
+
+def sim_task(config: CoreConfig, trace, *,
+             warmup_fraction: float = 0.0,
+             max_instructions: Optional[int] = None) -> ExecTask:
+    """A timing-model run as a pure task."""
+    params = {"warmup_fraction": warmup_fraction,
+              "max_instructions": max_instructions}
+    key = task_fingerprint("sim", fingerprint_config(config),
+                           fingerprint_trace(trace), params)
+    return ExecTask(kind="sim", key=key,
+                    payload=(config, trace, params))
+
+
+def campaign_task(config, index: int) -> ExecTask:
+    """One fault-injection campaign run as a pure task.
+
+    Purity holds because :meth:`CampaignConfig.run_seed` derives the
+    fault schedule from ``(campaign seed, index)`` alone.
+    """
+    key = task_fingerprint("campaign", config.fingerprint(), int(index))
+    return ExecTask(kind="campaign", key=key,
+                    payload=(config, int(index)))
+
+
+# ---- the engine ----------------------------------------------------------
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ExecError(
+                    f"${ENV_WORKERS} must be an integer, got {raw!r}")
+        else:
+            workers = 1
+    workers = int(workers)
+    if workers < 1:
+        raise ExecError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class Engine:
+    """Executes plans; owns the worker-count and cache policy."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache=None):
+        self.workers = resolve_workers(workers)
+        self.cache: Optional[ResultCache] = resolve_cache(cache)
+
+    def run(self, plan) -> List[Dict[str, object]]:
+        """Execute every task; returns JSON payloads in plan order."""
+        tasks: List[ExecTask] = list(
+            plan.tasks if isinstance(plan, ExecPlan) else plan)
+        for task in tasks:
+            if task.kind not in _TASK_RUNNERS:
+                raise ExecError(f"unknown task kind {task.kind!r}")
+        registry = get_registry()
+        counter = registry.counter(
+            "repro_exec_tasks_total",
+            "tasks processed by the execution engine")
+        with _obs_span("exec.engine.run", "exec",
+                       tasks=len(tasks), workers=self.workers) as sp:
+            by_key: Dict[str, Dict[str, object]] = {}
+            pending: List[Tuple[int, ExecTask]] = []
+            pending_keys: Dict[str, int] = {}
+            for i, task in enumerate(tasks):
+                if task.key in by_key or task.key in pending_keys:
+                    continue
+                cached = (self.cache.get(task.key, kind=task.kind)
+                          if self.cache is not None else None)
+                if cached is not None:
+                    by_key[task.key] = cached
+                    counter.inc(kind=task.kind, source="cache")
+                else:
+                    pending_keys[task.key] = i
+                    pending.append((i, task))
+            executed = self._execute(pending)
+            for i, task in pending:
+                payload = executed[i]
+                by_key[task.key] = payload
+                if self.cache is not None:
+                    self.cache.put(task.key, payload)
+                counter.inc(kind=task.kind, source="executed")
+            results = [by_key[task.key] for task in tasks]
+            sp.set(executed=len(pending),
+                   cached=len(tasks) - len(pending))
+            registry.histogram(
+                "repro_exec_batch_seconds",
+                "wall time of one engine batch").observe(
+                    sp.duration_s, workers=self.workers)
+        return results
+
+    def _execute(self, pending: Sequence[Tuple[int, ExecTask]],
+                 ) -> Dict[int, Dict[str, object]]:
+        out: Dict[int, Dict[str, object]] = {}
+        if not pending:
+            return out
+        if self.workers <= 1 or len(pending) == 1:
+            for i, task in pending:
+                out[i] = _execute_task(task)
+            return out
+        errors: Dict[int, BaseException] = {}
+        n_workers = min(self.workers, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_workers) as pool:
+            futures = {pool.submit(_execute_task, task): i
+                       for i, task in pending}
+            for fut in concurrent.futures.as_completed(futures):
+                i = futures[fut]
+                try:
+                    out[i] = fut.result()
+                except BaseException as exc:   # noqa: BLE001 - reraised
+                    errors[i] = exc
+        if errors:
+            # deterministic propagation: the failure of the
+            # earliest-indexed task wins, whatever finished first
+            first = min(errors)
+            raise errors[first]
+        return out
+
+
+# ---- convenience ---------------------------------------------------------
+
+def run_sim_plan(engine: Engine, tasks: Sequence[ExecTask],
+                 ) -> List[SimResult]:
+    """Execute sim tasks and decode the payloads back to SimResults."""
+    for task in tasks:
+        if task.kind != "sim":
+            raise ExecError(
+                f"run_sim_plan got a {task.kind!r} task")
+    return [sim_result_from_json(p)
+            for p in engine.run(ExecPlan(list(tasks)))]

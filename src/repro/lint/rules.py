@@ -284,7 +284,8 @@ class DeterminismRule(Rule):
     title = "model code must be deterministic"
     severity = Severity.ERROR
 
-    SCOPES = ("repro/core/", "repro/power/", "repro/pm/")
+    SCOPES = ("repro/core/", "repro/power/", "repro/pm/",
+              "repro/exec/")
 
     def applies_to(self, module: ParsedModule) -> bool:
         return module.relpath.startswith(self.SCOPES)

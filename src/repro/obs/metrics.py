@@ -39,6 +39,10 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "repro_occ_failsafe_ticks_total": "counter",
     "repro_faults_injected_total": "counter",
     "repro_campaign_runs_total": "counter",
+    "repro_exec_tasks_total": "counter",
+    "repro_exec_cache_hits_total": "counter",
+    "repro_exec_cache_misses_total": "counter",
+    "repro_exec_batch_seconds": "histogram",
 }
 
 

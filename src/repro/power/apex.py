@@ -30,7 +30,6 @@ import numpy as np
 
 from ..core.activity import ActivityCounters, EVENT_NAMES
 from ..core.config import CoreConfig
-from ..core.pipeline import simulate
 from ..errors import ModelError
 from ..obs.tracing import span as _obs_span
 from .einspower import EinspowerModel
@@ -89,10 +88,19 @@ class Apex:
         self.signals = list(signals)
 
     def run(self, trace, *, interval_instructions: int = 2000,
-            warmup_fraction: float = 0.0) -> ApexRun:
-        """Characterize a workload with interval-batched extraction."""
+            warmup_fraction: float = 0.0, engine=None) -> ApexRun:
+        """Characterize a workload with interval-batched extraction.
+
+        Window simulations go through the execution engine (pass
+        ``engine`` to share workers/cache; None means the environment
+        default); the LFSR fold stays serial and in interval order,
+        because the bank is stateful across intervals.
+        """
         if interval_instructions <= 0:
             raise ModelError("interval must be positive")
+        from ..exec.executor import Engine, run_sim_plan, sim_task
+        if engine is None:
+            engine = Engine()
         with _obs_span("apex.run", "power",
                        workload=getattr(trace, "name", "?"),
                        config=self.config.name,
@@ -100,12 +108,15 @@ class Apex:
             bank = LfsrBank(self.signals)
             intervals: List[ApexInterval] = []
             windows = trace.windows(interval_instructions)
+            results = run_sim_plan(
+                engine,
+                [sim_task(self.config, w,
+                          warmup_fraction=warmup_fraction)
+                 for w in windows])
             total_cycles = 0
             total_instr = 0
             energy_weighted = 0.0
-            for i, window in enumerate(windows):
-                result = simulate(self.config, window,
-                                  warmup_fraction=warmup_fraction)
+            for i, result in enumerate(results):
                 act = result.activity
                 bank.record({ev: act.events[ev] for ev in self.signals})
                 counts = bank.extract()
@@ -198,23 +209,36 @@ def detailed_reference_power(config: CoreConfig,
 
 
 def compare_core_vs_chip(core_config: CoreConfig, chip_config: CoreConfig,
-                         traces, *, warmup_fraction: float = 0.3):
+                         traces, *, warmup_fraction: float = 0.3,
+                         engine=None):
     """Run the Fig. 10 experiment: the same workloads through the core
     model (infinite L2) and the chip model (full hierarchy); returns
-    (ipc, power) points for both."""
+    (ipc, power) points for both.
+
+    All (workload, model) runs form one flat engine plan, so workers
+    and the result cache cover the whole experiment.
+    """
     if not core_config.hierarchy.infinite_l2:
         raise ModelError("core model must be built with infinite_l2=True")
     if chip_config.hierarchy.infinite_l2:
         raise ModelError("chip model must have the full hierarchy")
-    points = []
-    for trace in traces:
-        row = {"workload": trace.name}
-        for label, config in (("core", core_config),
-                              ("chip", chip_config)):
-            result = simulate(config, trace,
-                              warmup_fraction=warmup_fraction)
-            report = EinspowerModel(config).report(result.activity)
-            row[f"{label}_ipc"] = result.ipc
-            row[f"{label}_power_w"] = report.total_w
-        points.append(row)
+    from ..exec.executor import Engine, run_sim_plan, sim_task
+    if engine is None:
+        engine = Engine()
+    traces = list(traces)
+    pairs = [(trace, label, config)
+             for trace in traces
+             for label, config in (("core", core_config),
+                                   ("chip", chip_config))]
+    results = run_sim_plan(
+        engine,
+        [sim_task(config, trace, warmup_fraction=warmup_fraction)
+         for trace, _label, config in pairs])
+    points = [{"workload": trace.name} for trace in traces]
+    for k, ((_trace, label, config), result) in enumerate(
+            zip(pairs, results)):
+        row = points[k // 2]
+        report = EinspowerModel(config).report(result.activity)
+        row[f"{label}_ipc"] = result.ipc
+        row[f"{label}_power_w"] = report.total_w
     return points

@@ -54,25 +54,9 @@ OUTCOMES = ("masked", "detected", "degraded", "sdc", "hang")
 CHECKPOINT_VERSION = 1
 
 
-def resolve_workload(name: str, instructions: int):
-    """Build the named campaign workload trace (deterministic)."""
-    from ..workloads import (daxpy_trace, dgemm_mma_trace,
-                             dgemm_vsu_trace, specint_proxies)
-    from ..workloads.spec import SPECINT_NAMES
-
-    if name == "dgemm-mma":
-        return dgemm_mma_trace(max(1, instructions // 8))
-    if name == "dgemm-vsu":
-        return dgemm_vsu_trace(max(1, instructions // 8))
-    if name == "daxpy":
-        return daxpy_trace(instructions)
-    if name in SPECINT_NAMES:
-        return specint_proxies(instructions=instructions,
-                               names=[name])[0]
-    choices = ", ".join(("daxpy", "dgemm-vsu", "dgemm-mma")
-                        + SPECINT_NAMES)
-    raise ResilienceError(
-        f"unknown workload {name!r} (choices: {choices})")
+# The campaign workload namespace is the shared one: identical names
+# fingerprint to identical exec-cache keys everywhere.
+from ..workloads.resolve import resolve_workload  # noqa: E402  (re-export)
 
 
 @dataclass(frozen=True)
@@ -330,25 +314,41 @@ class CampaignRunner:
 
     # ---- campaign loop with checkpoint/resume ------------------------
 
-    def run(self, *, max_runs: Optional[int] = None) -> CampaignResult:
+    def run(self, *, max_runs: Optional[int] = None,
+            workers: Optional[int] = None,
+            cache=None, engine=None) -> CampaignResult:
         """Execute (or resume) the campaign.
 
         ``max_runs`` bounds how many *new* runs this invocation
         executes — the test harness uses it to simulate a killed
-        campaign.  A checkpoint is written after every completed run.
+        campaign.  Runs go through the execution engine
+        (:class:`repro.exec.Engine`) as ``campaign`` tasks, which is
+        valid because each run's fault schedule is a pure function of
+        ``(campaign seed, index)``; ``workers``/``cache`` configure a
+        fresh engine (None falls back to ``$REPRO_WORKERS`` /
+        ``$REPRO_CACHE_DIR``), or pass ``engine`` to share one.
+
+        The checkpoint is written after every completed batch (every
+        run when serial, every ``workers`` runs when parallel), and
+        cache hits replay into it exactly like executed runs — a warm
+        rerun reproduces the checkpoint bit for bit.
         """
+        from ..exec.executor import (Engine, ExecPlan, campaign_task)
+        if engine is None:
+            engine = Engine(workers=workers, cache=cache)
         golden = self.golden()
         records = self._load_checkpoint(int(golden["cycles"]))
         done = {r.index for r in records}
-        executed = 0
-        for index in range(self.config.runs):
-            if index in done:
-                continue
-            if max_runs is not None and executed >= max_runs:
-                break
-            records.append(self.run_one(index))
+        pending = [i for i in range(self.config.runs) if i not in done]
+        if max_runs is not None:
+            pending = pending[:max_runs]
+        batch_size = max(1, engine.workers)
+        for start in range(0, len(pending), batch_size):
+            batch = pending[start:start + batch_size]
+            payloads = engine.run(ExecPlan(
+                [campaign_task(self.config, i) for i in batch]))
+            records.extend(RunRecord.from_json(p) for p in payloads)
             records.sort(key=lambda r: r.index)
-            executed += 1
             self._write_checkpoint(records, int(golden["cycles"]))
         return CampaignResult(config=self.config, records=records,
                               golden_cycles=int(golden["cycles"]))

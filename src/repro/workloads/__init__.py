@@ -12,6 +12,7 @@ from .gemm import (MmaKernelShape, VsuKernelShape, dgemm_mma_trace,
 from .kernels import daxpy_trace, pointer_chase_trace, stream_triad_trace
 from .stressmark import max_power_stressmark
 from .io import load_trace, save_trace
+from .resolve import KERNEL_WORKLOADS, resolve_workload, workload_names
 
 __all__ = [
     "Trace", "merge_smt",
@@ -24,4 +25,5 @@ __all__ = [
     "daxpy_trace", "pointer_chase_trace", "stream_triad_trace",
     "max_power_stressmark",
     "load_trace", "save_trace",
+    "KERNEL_WORKLOADS", "resolve_workload", "workload_names",
 ]

@@ -17,6 +17,13 @@ from repro.workloads import (daxpy_trace, dgemm_mma_trace,
                              WorkloadSpec)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current model "
+             "instead of comparing against them")
+
+
 @pytest.fixture(scope="session")
 def p9():
     return power9_config()

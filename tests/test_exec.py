@@ -1,0 +1,332 @@
+"""The execution engine's contracts: cache, fan-out, bit-identity.
+
+The acceptance bar for the engine is strict equality, not tolerance:
+serial, ``workers=4``, and warm-cache execution must produce
+bit-identical results for the hot paths that were rewired through it
+(``compare_configs`` and the fault-injection campaign).
+"""
+
+import json
+
+import pytest
+
+from repro.core import power9_config, power10_config
+from repro.core.simulator import compare_configs, simulate_suite
+from repro.errors import ExecError
+from repro.exec import (Engine, ExecPlan, ResultCache, campaign_task,
+                        fingerprint_config, fingerprint_trace,
+                        resolve_workers, run_sim_plan,
+                        sim_result_from_json, sim_result_to_json,
+                        sim_task, task_fingerprint)
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience import CampaignConfig, CampaignRunner
+from repro.workloads import daxpy_trace, resolve_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_engine_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+# ---- fingerprints --------------------------------------------------------
+
+class TestFingerprints:
+    def test_config_fingerprint_stable(self, p10):
+        assert fingerprint_config(p10) \
+            == fingerprint_config(power10_config())
+
+    def test_config_change_changes_fingerprint(self, p10, p9):
+        assert fingerprint_config(p10) != fingerprint_config(p9)
+        assert fingerprint_config(p10) \
+            != fingerprint_config(power10_config(smt=4))
+
+    def test_trace_fingerprint_stable(self):
+        assert fingerprint_trace(daxpy_trace(400)) \
+            == fingerprint_trace(daxpy_trace(400))
+
+    def test_trace_change_changes_fingerprint(self):
+        assert fingerprint_trace(daxpy_trace(400)) \
+            != fingerprint_trace(daxpy_trace(401))
+
+    def test_params_distinguish_tasks(self, p10):
+        t = daxpy_trace(400)
+        assert sim_task(p10, t).key \
+            != sim_task(p10, t, warmup_fraction=0.2).key
+        assert sim_task(p10, t).key \
+            != sim_task(p10, t, max_instructions=100).key
+
+    def test_task_fingerprint_is_hex(self):
+        key = task_fingerprint("anything", 1, {"a": [2, 3]})
+        assert len(key) == 32
+        int(key, 16)
+
+
+# ---- the cache -----------------------------------------------------------
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_fingerprint("k", 1)
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1.5, "y": [1, 2]})
+        assert cache.get(key) == {"x": 1.5, "y": [1, 2]}
+        assert key in cache
+        assert len(cache) == 1
+        assert cache.keys() == [key]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_invalid_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bad in ("", "short", "../escape", "UPPERCASE" * 4,
+                    "zz" * 10):
+            with pytest.raises(ExecError):
+                cache.get(bad)
+
+    def test_corrupt_entry_is_a_miss_and_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = task_fingerprint("k", 2)
+        cache.put(key, {"ok": True})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        k1, k2 = task_fingerprint("a"), task_fingerprint("b")
+        cache.put(k1, {}), cache.put(k2, {})
+        assert cache.invalidate(k1) is True
+        assert cache.invalidate(k1) is False
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_no_tmp_litter(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(task_fingerprint("a"), {"v": 1})
+        leftovers = [p for p in tmp_path.rglob("*")
+                     if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_hit_miss_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        set_registry(registry)
+        try:
+            cache = ResultCache(tmp_path)
+            key = task_fingerprint("m")
+            cache.get(key)
+            cache.put(key, {})
+            cache.get(key)
+            snap = registry.collect()
+            assert snap["repro_exec_cache_misses_total"][
+                "series"][0]["value"] == 1
+            assert snap["repro_exec_cache_hits_total"][
+                "series"][0]["value"] == 1
+        finally:
+            set_registry(None)
+
+    def test_sim_result_json_roundtrip(self, p10):
+        from repro.core.pipeline import simulate
+        result = simulate(p10, daxpy_trace(400))
+        decoded = sim_result_from_json(
+            json.loads(json.dumps(sim_result_to_json(result))))
+        assert sim_result_to_json(decoded) == sim_result_to_json(result)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ExecError):
+            sim_result_from_json({"cycles": 1})
+
+
+# ---- engine configuration ------------------------------------------------
+
+class TestResolveWorkers:
+    def test_default_is_serial(self):
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ExecError):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ExecError):
+            resolve_workers()
+
+
+# ---- engine execution ----------------------------------------------------
+
+def _plan(config, n=3):
+    return [sim_task(config, daxpy_trace(300 + 50 * i))
+            for i in range(n)]
+
+
+def _boom(payload):
+    """Failing task runner (top-level so workers can run it)."""
+    raise ValueError(f"task {payload} failed")
+
+
+class TestEngine:
+    def test_unknown_kind_rejected_up_front(self):
+        from repro.exec import ExecTask
+        plan = ExecPlan([ExecTask(kind="nope",
+                                  key=task_fingerprint("x"),
+                                  payload=None)])
+        with pytest.raises(ExecError):
+            Engine(workers=1).run(plan)
+
+    def test_run_sim_plan_rejects_foreign_kinds(self):
+        task = campaign_task(
+            CampaignConfig(seed=1, runs=1, workload="daxpy",
+                           instructions=300, faults_per_run=1,
+                           interval_cycles=150), 0)
+        with pytest.raises(ExecError):
+            run_sim_plan(Engine(workers=1), [task])
+
+    def test_duplicate_keys_execute_once(self, p10, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = sim_task(p10, daxpy_trace(300))
+        results = Engine(workers=1, cache=cache).run(
+            ExecPlan([task, task, task]))
+        assert len(results) == 3
+        assert results[0] == results[1] == results[2]
+        assert cache.misses == 1      # looked up once, ran once
+        assert len(cache) == 1
+
+    def test_serial_vs_parallel_vs_cached_bit_identical(
+            self, p10, tmp_path):
+        plan = _plan(p10)
+        serial = Engine(workers=1).run(ExecPlan(list(plan)))
+        parallel = Engine(workers=4).run(ExecPlan(list(plan)))
+        cache = ResultCache(tmp_path)
+        cold = Engine(workers=4, cache=cache).run(ExecPlan(list(plan)))
+        warm = Engine(workers=1, cache=cache).run(ExecPlan(list(plan)))
+        assert serial == parallel == cold == warm
+        assert cache.hits == len(plan)
+
+    def test_worker_failure_propagates(self):
+        from repro.exec import ExecTask, register_task_kind
+        register_task_kind("test-boom", _boom)
+        tasks = [ExecTask(kind="test-boom",
+                          key=task_fingerprint("boom", i),
+                          payload=i) for i in range(3)]
+        with pytest.raises(ValueError, match="task 0 failed"):
+            Engine(workers=2).run(ExecPlan(tasks))
+
+
+# ---- acceptance: rewired hot paths --------------------------------------
+
+def _compare_snapshot(out):
+    return json.dumps(
+        {name: [(sim_result_to_json(r.result), r.power_w)
+                for r in suite.runs]
+         for name, suite in out.items()}, sort_keys=True)
+
+
+class TestHotPathBitIdentity:
+    def test_compare_configs(self, p9, p10, tmp_path):
+        configs = [p9, p10]
+        traces = [resolve_workload("daxpy", 600),
+                  resolve_workload("stream-triad", 600)]
+        serial = _compare_snapshot(
+            compare_configs(configs, traces, engine=Engine(workers=1)))
+        parallel = _compare_snapshot(
+            compare_configs(configs, traces, engine=Engine(workers=4)))
+        cache = ResultCache(tmp_path)
+        cold = _compare_snapshot(compare_configs(
+            configs, traces, engine=Engine(workers=4, cache=cache)))
+        warm = _compare_snapshot(compare_configs(
+            configs, traces, engine=Engine(workers=1, cache=cache)))
+        assert serial == parallel == cold == warm
+        assert cache.hits == len(configs) * len(traces)
+
+    def test_simulate_suite_matches_direct_path(self, p10):
+        traces = [resolve_workload("daxpy", 600),
+                  resolve_workload("pointer-chase", 600)]
+        via_engine = simulate_suite(p10, traces,
+                                    engine=Engine(workers=1))
+        from repro.core.simulator import simulate_trace
+        direct = [simulate_trace(p10, t) for t in traces]
+        for a, b in zip(via_engine.runs, direct):
+            assert sim_result_to_json(a.result) \
+                == sim_result_to_json(b.result)
+            assert a.power_w == b.power_w
+
+    def test_fault_campaign(self, tmp_path):
+        def cfg():
+            return CampaignConfig(seed=11, runs=4, workload="daxpy",
+                                  instructions=600, faults_per_run=3,
+                                  interval_cycles=300)
+        serial = CampaignRunner(cfg()).run(workers=1)
+        parallel = CampaignRunner(cfg()).run(workers=4)
+        cache = ResultCache(tmp_path / "c")
+        cold = CampaignRunner(cfg()).run(workers=4, cache=cache)
+        warm = CampaignRunner(cfg()).run(workers=1, cache=cache)
+        snapshots = [json.dumps(r.to_json(), sort_keys=True)
+                     for r in (serial, parallel, cold, warm)]
+        assert snapshots[0] == snapshots[1] == snapshots[2] \
+            == snapshots[3]
+        assert cache.hits >= 4        # every run replayed from disk
+
+
+# ---- the bench runner ----------------------------------------------------
+
+class TestBenchRunner:
+    def test_artifacts_and_scenario_cache(self, tmp_path):
+        from repro.exec.benchrun import run_bench
+        out = tmp_path / "artifacts"
+        summary = run_bench(["fig02"], quick=True,
+                            cache_dir=tmp_path / "cache",
+                            out_dir=out, sweep=False)
+        doc = json.loads((out / "BENCH_fig02.json").read_text())
+        assert doc["scenario"] == "fig02"
+        assert doc["scalars"] and doc["wall_s"] >= 0
+        assert summary["scenarios"]["fig02"]["artifact"]
+        # warm rerun serves the whole scenario from the cache
+        rerun = run_bench(["fig02"], quick=True,
+                          cache_dir=tmp_path / "cache",
+                          out_dir=out, sweep=False)
+        warm = json.loads((out / "BENCH_fig02.json").read_text())
+        assert warm["cache"]["hits"] >= 1
+        assert warm["scalars"] == doc["scalars"]
+        assert rerun["scenarios"]["fig02"]["wall_s"] \
+            <= summary["scenarios"]["fig02"]["wall_s"] + 1.0
+
+    def test_quick_and_scale_are_exclusive(self, tmp_path):
+        from repro.exec.benchrun import run_bench
+        with pytest.raises(ExecError):
+            run_bench(["fig02"], quick=True, scale=0.5,
+                      out_dir=tmp_path)
+
+    def test_sweep_is_bit_identical(self, tmp_path):
+        """The acceptance sweep: serial vs workers vs cold vs warm
+        cache over a multi-config comparison, verified bit-identical
+        (the sweep itself raises if not)."""
+        from repro.exec.benchrun import run_sweep
+        doc = run_sweep(out_dir=tmp_path, quick=True, workers=2,
+                        cache_dir=tmp_path / "cache")
+        assert doc["bit_identical"] is True
+        assert doc["n_sims"] == 12
+        assert doc["warm_cache_s"] < doc["serial_s"]
+        on_disk = json.loads(
+            (tmp_path / "BENCH_sweep.json").read_text())
+        assert on_disk == doc
+
+    def test_cli_list_and_run(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["bench", "--list"]) == 0
+        assert "fig02" in capsys.readouterr().out
+        assert main(["bench", "fig02", "--quick", "--no-sweep",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_fig02.json").is_file()
+
+    def test_cli_rejects_unknown_scenario(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["bench", "nope", "--no-sweep",
+                     "--out", str(tmp_path)]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""Property tests for the execution engine (hypothesis).
+
+Three engine invariants hold for *all* inputs, not just the ones the
+unit tests pick:
+
+* cache-key injectivity — distinct task parameters never collide;
+* cross-process key equality — fingerprints do not depend on process
+  state (hash randomization, dict order);
+* executor determinism — results depend only on plan content, never on
+  submission order.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import power10_config
+from repro.exec import (Engine, ExecPlan, fingerprint_trace, sim_task,
+                        task_fingerprint)
+from repro.workloads import generate, WorkloadSpec
+
+_SETTINGS = dict(deadline=None, max_examples=25,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+# JSON-able scalars that can appear in task params
+_scalars = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12), st.booleans(), st.none())
+_params = st.dictionaries(st.text(min_size=1, max_size=8), _scalars,
+                          max_size=4)
+
+
+class TestKeyInjectivity:
+    @settings(**_SETTINGS)
+    @given(a=_params, b=_params)
+    def test_distinct_params_distinct_keys(self, a, b):
+        ka = task_fingerprint("sim", "cfg", "trace", a)
+        kb = task_fingerprint("sim", "cfg", "trace", b)
+        # canonical-JSON equality is the identity the cache hashes
+        same = json.dumps(a, sort_keys=True) \
+            == json.dumps(b, sort_keys=True)
+        assert (ka == kb) == same
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           n=st.integers(min_value=50, max_value=400))
+    def test_trace_fingerprint_tracks_content(self, seed, n):
+        spec = WorkloadSpec(name="prop", instructions=n, seed=seed)
+        assert fingerprint_trace(generate(spec)) \
+            == fingerprint_trace(generate(spec))
+        other = generate(WorkloadSpec(name="prop", instructions=n,
+                                      seed=seed + 1))
+        assert fingerprint_trace(generate(spec)) \
+            != fingerprint_trace(other)
+
+    @settings(**_SETTINGS)
+    @given(kind=st.sampled_from(["sim", "campaign", "scenario"]),
+           parts=st.lists(_scalars, max_size=3))
+    def test_kind_participates_in_key(self, kind, parts):
+        assert task_fingerprint(kind, *parts) \
+            != task_fingerprint(kind + "-other", *parts)
+
+
+_SUBPROCESS_PROG = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.core import power10_config
+from repro.exec import sim_task, task_fingerprint
+from repro.workloads import generate, WorkloadSpec
+trace = generate(WorkloadSpec(name="xproc", instructions=200, seed=7))
+print(json.dumps({{
+    "task": sim_task(power10_config(), trace,
+                     warmup_fraction=0.25).key,
+    "plain": task_fingerprint("a", 1, {{"k": [1.5, None, "s"]}}),
+}}))
+"""
+
+
+def test_keys_equal_across_processes():
+    """Fingerprints survive hash randomization and fresh interpreters."""
+    src = str(Path(__file__).parent.parent / "src")
+    prog = _SUBPROCESS_PROG.format(src=src)
+
+    def run(hashseed):
+        out = subprocess.run(
+            [sys.executable, "-c", prog], capture_output=True,
+            text=True, check=True,
+            env={"PATH": "/usr/bin:/bin", "PYTHONHASHSEED": hashseed})
+        return json.loads(out.stdout)
+
+    a, b = run("0"), run("424242")
+    assert a == b
+    # and they match this process too
+    trace = generate(WorkloadSpec(name="xproc", instructions=200,
+                                  seed=7))
+    assert a["task"] == sim_task(power10_config(), trace,
+                                 warmup_fraction=0.25).key
+    assert a["plain"] == task_fingerprint("a", 1,
+                                          {"k": [1.5, None, "s"]})
+
+
+class TestExecutorDeterminism:
+    @settings(deadline=None, max_examples=8,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(order=st.permutations(list(range(4))))
+    def test_shuffled_submission_same_results(self, order):
+        """Plan order determines result order; submission shuffles
+        must map back exactly through the assembly step."""
+        config = power10_config()
+        traces = [generate(WorkloadSpec(name=f"w{i}",
+                                        instructions=150 + 30 * i,
+                                        seed=i))
+                  for i in range(4)]
+        tasks = [sim_task(config, t) for t in traces]
+        baseline = Engine(workers=1).run(ExecPlan(list(tasks)))
+        shuffled = [tasks[i] for i in order]
+        results = Engine(workers=1).run(ExecPlan(shuffled))
+        for pos, i in enumerate(order):
+            assert results[pos] == baseline[i]
+
+    def test_parallel_matches_serial_for_shuffles(self):
+        config = power10_config()
+        tasks = [sim_task(config,
+                          generate(WorkloadSpec(name=f"p{i}",
+                                                instructions=200,
+                                                seed=10 + i)))
+                 for i in range(4)]
+        serial = Engine(workers=1).run(ExecPlan(list(tasks)))
+        reversed_par = Engine(workers=3).run(
+            ExecPlan(list(reversed(tasks))))
+        assert list(reversed(reversed_par)) == serial
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_engine_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)

@@ -1,0 +1,120 @@
+"""Golden regression harness: every paper figure against committed goldens.
+
+Each scenario in :mod:`repro.exec.figs` runs at its reduced
+``quick_scale`` and its scalar summary is compared against
+``tests/goldens/<name>.json`` within the scenario's ``rtol``.  Any
+model change that moves a figure — an energy coefficient, a pipeline
+rule, a derating weight — fails here with the exact scalar that moved.
+
+Intentional changes regenerate the files with::
+
+    pytest tests/test_golden_figs.py --update-goldens
+
+and the diff of ``tests/goldens/`` becomes part of code review.
+
+The harness also proves its own sensitivity: a 1% perturbation of one
+event-energy coefficient must trip the fig05 comparison.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+import repro.core.config
+from repro.exec import Engine
+from repro.exec.figs import SCENARIOS, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """Goldens must reflect the model, never an ambient result cache."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def load_golden(name: str) -> dict:
+    return json.loads(golden_path(name).read_text())
+
+
+def write_golden(name: str, scalars: dict, scale: float,
+                 rtol: float) -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    doc = {"scenario": name, "scale": scale, "rtol": rtol,
+           "scalars": scalars}
+    golden_path(name).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def compare_scalars(actual: dict, golden: dict, rtol: float):
+    """Return the list of mismatch descriptions (empty = match)."""
+    problems = []
+    for key in sorted(set(golden) | set(actual)):
+        if key not in actual:
+            problems.append(f"missing scalar {key!r}")
+            continue
+        if key not in golden:
+            problems.append(f"new scalar {key!r} not in golden")
+            continue
+        a, g = actual[key], golden[key]
+        if not math.isclose(a, g, rel_tol=rtol, abs_tol=rtol):
+            problems.append(
+                f"{key}: got {a!r}, golden {g!r} (rtol {rtol})")
+    return problems
+
+
+@pytest.mark.parametrize("name", list(SCENARIOS))
+def test_golden(name, request):
+    spec = SCENARIOS[name]
+    _rich, scalars = run_scenario(name, scale=spec.quick_scale,
+                                  engine=Engine(workers=1))
+    assert scalars, f"scenario {name} produced no scalars"
+    if request.config.getoption("--update-goldens"):
+        write_golden(name, scalars, spec.quick_scale, spec.rtol)
+        return
+    if not golden_path(name).is_file():
+        pytest.fail(
+            f"no golden for {name}; run with --update-goldens")
+    golden = load_golden(name)
+    assert golden["scale"] == spec.quick_scale, \
+        "golden was recorded at a different scale; regenerate it"
+    problems = compare_scalars(scalars, golden["scalars"], spec.rtol)
+    assert not problems, (
+        f"scenario {name} diverged from its golden:\n  "
+        + "\n  ".join(problems))
+
+
+def test_goldens_cover_every_scenario():
+    """A scenario without a committed golden is an uncovered figure."""
+    missing = [n for n in SCENARIOS if not golden_path(n).is_file()]
+    assert not missing, (
+        f"scenarios without goldens: {missing}; "
+        "run pytest tests/test_golden_figs.py --update-goldens")
+
+
+def test_harness_detects_energy_perturbation(monkeypatch):
+    """1% on one event-energy coefficient must trip the comparison.
+
+    This is the harness's own regression test: if a coefficient change
+    this small ever stops moving the fig05 power scalars, the goldens
+    have lost their sensitivity and the harness is decorative.
+    """
+    spec = SCENARIOS["fig05"]
+    table = repro.core.config._P10_EVENT_PJ
+    monkeypatch.setitem(table, "l1d_access",
+                        table["l1d_access"] * 1.01)
+    _rich, scalars = run_scenario("fig05", scale=spec.quick_scale,
+                                  engine=Engine(workers=1))
+    golden = load_golden("fig05")
+    problems = compare_scalars(scalars, golden["scalars"], spec.rtol)
+    assert problems, (
+        "a 1% l1d_access energy perturbation did not move any fig05 "
+        "scalar beyond rtol — the golden harness is not sensitive "
+        "enough")

@@ -165,6 +165,40 @@ class TestCampaignDeterminism:
         assert resumed.complete
         assert resumed.to_json() == uninterrupted.to_json()
 
+    def test_parallel_kill_resume_bit_identical(self, tmp_path):
+        """Satellite: the checkpoint-resume guarantee survives the
+        parallel engine.  A campaign killed mid-way under workers=2
+        and resumed (still parallel) must match a serial uninterrupted
+        campaign bit for bit."""
+        ckpt = tmp_path / "ckpt.json"
+        uninterrupted = CampaignRunner(_small_config(runs=6)).run()
+
+        partial = CampaignRunner(_small_config(runs=6),
+                                 checkpoint=ckpt) \
+            .run(max_runs=3, workers=2)
+        assert not partial.complete
+        assert len(partial.records) == 3
+
+        resumed = CampaignRunner(_small_config(runs=6),
+                                 checkpoint=ckpt).run(workers=2)
+        assert resumed.complete
+        assert resumed.to_json() == uninterrupted.to_json()
+
+    def test_cache_replay_preserves_checkpoint_bytes(self, tmp_path):
+        """Satellite: cache hits must replay into the checkpoint
+        identically — a warm-cache campaign's checkpoint file is
+        byte-equal to an uncached one's."""
+        from repro.exec import ResultCache
+        cache = ResultCache(tmp_path / "cache")
+        plain, warmed = tmp_path / "plain.json", tmp_path / "warm.json"
+        CampaignRunner(_small_config(), checkpoint=plain).run()
+        CampaignRunner(_small_config(), checkpoint=tmp_path / "x.json") \
+            .run(cache=cache)           # fill the cache
+        CampaignRunner(_small_config(), checkpoint=warmed) \
+            .run(cache=cache)           # replay every run from disk
+        assert cache.hits >= _small_config().runs
+        assert warmed.read_bytes() == plain.read_bytes()
+
     def test_checkpoint_rejects_other_config(self, tmp_path):
         ckpt = tmp_path / "ckpt.json"
         CampaignRunner(_small_config(), checkpoint=ckpt).run(max_runs=1)
