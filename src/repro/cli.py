@@ -16,7 +16,11 @@ Commands:
 * ``campaign`` — a resumable N-run fault-injection campaign with the
   AVF/SERMiner cross-check report;
 * ``lint``     — static analysis proving the event/energy/determinism
-  contracts (rules R001–R006, see :mod:`repro.lint`).
+  contracts (rules R001–R006, see :mod:`repro.lint`);
+* ``serve``    — the long-lived JSON-over-HTTP simulation service
+  (micro-batching, admission control, power-proxy fast path);
+* ``loadgen``  — deterministic open-loop load generation against a
+  server (or ``--self-serve``); writes ``BENCH_serve.json``.
 
 Every command accepts ``--telemetry-dir DIR``: the run then executes
 inside a :class:`repro.obs.export.TelemetrySession` and leaves
@@ -44,10 +48,36 @@ def _session_sampler(args: argparse.Namespace, config, trace):
     return session.sampler
 
 
+def _compare_results(args: argparse.Namespace, p9, p10, proxies):
+    """Per-proxy (r9, r10) SimResults for ``compare``.
+
+    With telemetry on, runs serially in-process so the session sampler
+    observes every run.  Otherwise goes through the execution engine:
+    ``--workers`` fans out across a process pool and ``--cache-dir``
+    replays content-addressed results (bit-identical either way).
+    """
+    if getattr(args, "session", None) is not None:
+        from .core.pipeline import simulate
+        out = []
+        for trace in proxies:
+            r9 = simulate(p9, trace, warmup_fraction=0.3,
+                          sampler=_session_sampler(args, p9, trace))
+            r10 = simulate(p10, trace, warmup_fraction=0.3,
+                           sampler=_session_sampler(args, p10, trace))
+            out.append((r9, r10))
+        return out
+    from .exec.executor import Engine, run_sim_plan, sim_task
+    tasks = [sim_task(cfg, trace, warmup_fraction=0.3)
+             for trace in proxies for cfg in (p9, p10)]
+    with Engine(workers=args.workers, cache=args.cache_dir) as engine:
+        results = run_sim_plan(engine, tasks)
+    return [(results[2 * i], results[2 * i + 1])
+            for i in range(len(proxies))]
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .analysis import format_table
     from .core import power9_config, power10_config
-    from .core.pipeline import simulate
     from .power import EinspowerModel
     from .workloads import specint_proxies
 
@@ -56,11 +86,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     proxies_out = []
     wsum = perf = power = 0.0
-    for trace in proxies:
-        r9 = simulate(p9, trace, warmup_fraction=0.3,
-                      sampler=_session_sampler(args, p9, trace))
-        r10 = simulate(p10, trace, warmup_fraction=0.3,
-                       sampler=_session_sampler(args, p10, trace))
+    for trace, (r9, r10) in zip(proxies,
+                                _compare_results(args, p9, p10, proxies)):
         w9 = EinspowerModel(p9).report(r9.activity).total_w
         w10 = EinspowerModel(p10).report(r10.activity).total_w
         wsum += trace.weight
@@ -266,7 +293,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     runner = CampaignRunner(_campaign_config(args, args.runs),
                             checkpoint=args.checkpoint)
-    result = runner.run()
+    result = runner.run(workers=args.workers, cache=args.cache_dir)
     report = build_report(result, runner.population,
                           runner.golden()["activity"], vt=args.vt)
     if args.report:
@@ -357,6 +384,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(argv)
 
 
+def _serve_config(args: argparse.Namespace, *, port: int):
+    from .serve import ServeConfig
+    return ServeConfig(
+        host=args.host, port=port, workers=args.workers,
+        cache_dir=args.cache_dir, window_ms=args.window_ms,
+        max_inflight=args.max_inflight, rate_per_s=args.rate_limit,
+        drain_timeout_s=args.drain_timeout,
+        warm_fast_path=args.warm)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import run_server
+    return run_server(_serve_config(args, port=args.port))
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import (LoadgenConfig, run_loadgen, start_in_thread,
+                        write_report)
+
+    handle = None
+    host, port = args.host, args.port
+    if args.self_serve:
+        handle = start_in_thread(_serve_config(args, port=0))
+        host, port = "127.0.0.1", handle.port
+        print(f"self-serve: started on {handle.url}", file=sys.stderr)
+    try:
+        report = run_loadgen(LoadgenConfig(
+            seed=args.seed, requests=args.requests,
+            rate_per_s=args.rate, host=host, port=port,
+            timeout_s=args.timeout, deadline_ms=args.deadline_ms))
+    finally:
+        if handle is not None:
+            clean = handle.stop()
+            print(f"self-serve: drained "
+                  f"({'clean' if clean else 'forced'})",
+                  file=sys.stderr)
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    lat = report["latency_s"]
+    print(f"{report['requests']} requests @ "
+          f"{report['offered_rate_per_s']:.0f}/s offered -> "
+          f"{report['throughput_per_s']:.1f}/s served; "
+          f"ok {report['ok']} (degraded {report['degraded']}), "
+          f"errors {report['errors']}, malformed {report['malformed']}")
+    print(f"latency p50 {lat['p50'] * 1000:.1f} ms, "
+          f"p95 {lat['p95'] * 1000:.1f} ms, "
+          f"p99 {lat['p99'] * 1000:.1f} ms")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     telemetry = argparse.ArgumentParser(add_help=False)
     telemetry.add_argument(
@@ -367,12 +447,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-interval", type=int, default=5000, metavar="CYCLES",
         help="cycle-interval sampler granularity (default 5000)")
 
+    # shared engine knobs: CLI flags win, env vars stay as fallbacks
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    engine_opts.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: $REPRO_WORKERS or 1)")
+    engine_opts.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache (default: "
+             "$REPRO_CACHE_DIR or off)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="POWER10 energy-efficiency paper reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compare", parents=[telemetry],
+    p = sub.add_parser("compare", parents=[telemetry, engine_opts],
                        help="P9 vs P10 on SPECint proxies")
     p.add_argument("--instructions", type=int, default=8000)
     p.add_argument("--verbose", action="store_true")
@@ -453,7 +543,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one seeded fault-injection run")
     p.set_defaults(func=_cmd_inject)
 
-    p = sub.add_parser("campaign", parents=[telemetry, fault],
+    p = sub.add_parser("campaign", parents=[telemetry, fault,
+                                            engine_opts],
                        help="resumable N-run fault-injection campaign")
     p.add_argument("--runs", type=int, default=8)
     p.add_argument("--checkpoint", default=None, metavar="FILE",
@@ -493,6 +584,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-sweep", action="store_true",
                    help="skip the serial/parallel/cached timing sweep")
     p.set_defaults(func=_cmd_bench)
+
+    serve_opts = argparse.ArgumentParser(add_help=False,
+                                         parents=[engine_opts])
+    serve_opts.add_argument("--host", default="127.0.0.1")
+    serve_opts.add_argument("--window-ms", type=float, default=2.0,
+                            help="micro-batching window (default 2 ms)")
+    serve_opts.add_argument("--max-inflight", type=int, default=32,
+                            help="admitted-request bound (default 32)")
+    serve_opts.add_argument("--rate-limit", type=float, default=None,
+                            metavar="REQ_PER_S",
+                            help="token-bucket rate limit "
+                                 "(default: unlimited)")
+    serve_opts.add_argument("--drain-timeout", type=float, default=5.0,
+                            metavar="SECONDS",
+                            help="graceful-drain budget (default 5)")
+    serve_opts.add_argument("--warm", action="store_true",
+                            help="fit the power-proxy fast path before "
+                                 "accepting traffic")
+
+    p = sub.add_parser(
+        "serve", parents=[serve_opts],
+        help="long-lived JSON-over-HTTP simulation service")
+    p.add_argument("--port", type=int, default=8419,
+                   help="listen port; 0 = ephemeral (default 8419)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", parents=[serve_opts],
+        help="deterministic open-loop load generator; writes "
+             "BENCH_serve.json")
+    p.add_argument("--port", type=int, default=8419,
+                   help="target server port (default 8419)")
+    p.add_argument("--self-serve", action="store_true",
+                   help="start an in-process server on an ephemeral "
+                        "port for the duration of the run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule seed (default 0)")
+    p.add_argument("--requests", type=int, default=50)
+    p.add_argument("--rate", type=float, default=25.0,
+                   metavar="REQ_PER_S",
+                   help="offered open-loop rate (default 25/s)")
+    p.add_argument("--deadline-ms", type=int, default=None,
+                   help="per-request deadline forwarded to the server")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="client socket timeout (default 60)")
+    p.add_argument("--out", default="BENCH_serve.json", metavar="FILE",
+                   help="report artifact (default BENCH_serve.json; "
+                        "'' disables)")
+    p.add_argument("--json", action="store_true",
+                   help="also print the full report to stdout")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
         "lint",

@@ -40,6 +40,27 @@ class ExecError(ReproError):
     invalid cache key, unpicklable payload, failed worker)."""
 
 
+class ServeError(ReproError):
+    """The serving layer was misused or could not honor a request
+    (malformed protocol payload, invalid batching/admission setup)."""
+
+
+class OverloadError(ServeError):
+    """The server shed a request it could not degrade: the admission
+    queue or rate budget was exhausted and no proxy fast path applied
+    (HTTP 503 with a Retry-After hint)."""
+
+
+class DeadlineError(ServeError):
+    """A request's deadline expired before the engine produced the
+    full-fidelity answer and no degraded answer was possible."""
+
+
+class DrainingError(ServeError):
+    """The server is shutting down: in-flight work was resolved with a
+    well-formed error instead of completing (or hanging)."""
+
+
 class ResilienceError(ReproError):
     """The fault-injection layer was misused (malformed fault schedule,
     conflicting active injectors, corrupt campaign checkpoint)."""

@@ -29,8 +29,10 @@ the parent registry only sees the engine's own
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -173,12 +175,53 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 
 class Engine:
-    """Executes plans; owns the worker-count and cache policy."""
+    """Executes plans; owns the worker-count, cache policy, and (for
+    ``workers > 1``) a persistent process pool.
+
+    The pool is created lazily on the first parallel batch and reused
+    by every subsequent :meth:`run` until :meth:`close`, so long-lived
+    callers (the serving layer, suite drivers, campaign loops) pay
+    pool startup once instead of per call.  ``Engine`` is a context
+    manager::
+
+        with Engine(workers=4) as engine:
+            engine.run(plan_a)
+            engine.run(plan_b)      # same pool, no respawn
+
+    ``close()`` is idempotent, and an engine remains usable after
+    closing — the next parallel batch simply creates a fresh pool.
+    """
 
     def __init__(self, workers: Optional[int] = None,
                  cache=None):
         self.workers = resolve_workers(workers)
         self.cache: Optional[ResultCache] = resolve_cache(cache)
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers)
+            _LIVE_ENGINES.add(self)
+        return self._pool
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent).
+
+        ``wait=False`` lets a draining server abandon a pool whose
+        current batch is still running; the workers exit once their
+        in-flight tasks complete.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def run(self, plan) -> List[Dict[str, object]]:
         """Execute every task; returns JSON payloads in plan order."""
@@ -233,23 +276,36 @@ class Engine:
                 out[i] = _execute_task(task)
             return out
         errors: Dict[int, BaseException] = {}
-        n_workers = min(self.workers, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=n_workers) as pool:
-            futures = {pool.submit(_execute_task, task): i
-                       for i, task in pending}
-            for fut in concurrent.futures.as_completed(futures):
-                i = futures[fut]
-                try:
-                    out[i] = fut.result()
-                except BaseException as exc:   # noqa: BLE001 - reraised
-                    errors[i] = exc
+        pool = self._ensure_pool()
+        futures = {pool.submit(_execute_task, task): i
+                   for i, task in pending}
+        for fut in concurrent.futures.as_completed(futures):
+            i = futures[fut]
+            try:
+                out[i] = fut.result()
+            except BaseException as exc:   # noqa: BLE001 - reraised
+                errors[i] = exc
         if errors:
             # deterministic propagation: the failure of the
             # earliest-indexed task wins, whatever finished first
             first = min(errors)
             raise errors[first]
         return out
+
+
+# Engines whose persistent pool is still open.  The atexit sweep closes
+# them before interpreter teardown: a ProcessPoolExecutor that is merely
+# garbage-collected can race concurrent.futures' own exit hook and die
+# with "Bad file descriptor" noise on its wakeup pipe.
+_LIVE_ENGINES: "weakref.WeakSet[Engine]" = weakref.WeakSet()
+
+
+def _close_live_engines() -> None:
+    for engine in list(_LIVE_ENGINES):
+        engine.close()
+
+
+atexit.register(_close_live_engines)
 
 
 # ---- convenience ---------------------------------------------------------

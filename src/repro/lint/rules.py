@@ -10,9 +10,9 @@ reproducible):
   interface resolves to ``EVENT_NAMES``/``UNIT_NAMES``;
 * R002 — the component inventory is a total, disjoint partition of the
   event space over real clock-gating units and known categories;
-* R003 — model code (``repro.core``, ``repro.power``, ``repro.pm``) is
-  deterministic: no wall clocks, no unseeded randomness, no iteration
-  over unordered sets;
+* R003 — model code (``repro.core``, ``repro.power``, ``repro.pm``,
+  ``repro.exec``) is deterministic: no wall clocks, no unseeded
+  randomness, no iteration over unordered sets;
 * R004 — library errors go through the ``repro.errors`` taxonomy;
 * R005 — simulator configs are frozen dataclasses and no function has
   a mutable default argument;
@@ -275,9 +275,18 @@ class DeterminismRule(Rule):
     clocks, the seedless ``random`` module, numpy's global RNG,
     ``np.random.default_rng()`` without a seed, and iteration over set
     displays/calls (Python set order is not deterministic across
-    processes) unless wrapped in ``sorted(...)``.  The observability
-    layer (``repro.obs``) measures wall time by design and is out of
-    scope.
+    processes) unless wrapped in ``sorted(...)``.
+
+    Deliberate carve-outs (``SCOPES`` below is the whole policy): the
+    observability layer (``repro.obs``) measures wall time by design,
+    and the serving layer (``repro.serve``, PR 5) is *built from*
+    non-deterministic primitives — token-bucket refill clocks, request
+    latency measurement, socket readiness, client backoff jitter.
+    Determinism there is enforced at the Engine boundary instead: every
+    task the service submits is a pure function of its payload, and
+    ``tests/test_serve.py`` asserts batched responses are bit-identical
+    to direct serial runs.  R001/R004/R005/R006 still apply to
+    ``repro.serve`` in full.
     """
 
     id = "R003"

@@ -43,6 +43,14 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "repro_exec_cache_hits_total": "counter",
     "repro_exec_cache_misses_total": "counter",
     "repro_exec_batch_seconds": "histogram",
+    "repro_serve_requests_total": "counter",
+    "repro_serve_request_seconds": "histogram",
+    "repro_serve_batches_total": "counter",
+    "repro_serve_batch_size": "histogram",
+    "repro_serve_singleflight_joins_total": "counter",
+    "repro_serve_shed_total": "counter",
+    "repro_serve_inflight": "gauge",
+    "repro_serve_proxy_estimates_total": "counter",
 }
 
 

@@ -1,0 +1,38 @@
+"""The serving layer: a long-lived JSON-over-HTTP simulation service.
+
+Request flow: :mod:`protocol` (validation + envelopes) →
+:mod:`admission` (rate limit / bounded queue / degrade-to-proxy) →
+:mod:`batcher` (micro-batching + single-flight) → the PR 4 execution
+engine.  :mod:`server` owns the asyncio HTTP front end and lifecycle,
+:mod:`client` is the sync client, :mod:`loadgen` the deterministic
+open-loop load generator behind ``repro loadgen``.
+
+This package sits deliberately *outside* the R003 determinism scopes
+(see ``repro/lint/rules.py``): wall clocks and sockets are what a
+service is made of.  Determinism lives behind the Engine boundary, and
+the batcher's bit-identity guarantee (batched == direct serial runs)
+is what keeps the service honest about it.
+"""
+
+from .admission import AdmissionController, Decision, ProxyFastPath, \
+    TokenBucket
+from .batcher import MicroBatcher
+from .client import ServeClient, ServeResponse
+from .loadgen import LoadgenConfig, build_schedule, run_loadgen, \
+    write_report
+from .protocol import (CompareRequest, EstimateRequest, InjectRequest,
+                       SimulateRequest, error_body, error_status,
+                       ok_body)
+from .server import (ReproServer, ServeConfig, ServerHandle,
+                     run_server, start_in_thread)
+
+__all__ = [
+    "AdmissionController", "Decision", "ProxyFastPath", "TokenBucket",
+    "MicroBatcher",
+    "ServeClient", "ServeResponse",
+    "LoadgenConfig", "build_schedule", "run_loadgen", "write_report",
+    "CompareRequest", "EstimateRequest", "InjectRequest",
+    "SimulateRequest", "error_body", "error_status", "ok_body",
+    "ReproServer", "ServeConfig", "ServerHandle", "run_server",
+    "start_in_thread",
+]

@@ -1,0 +1,177 @@
+"""Micro-batching with single-flight dedupe over the execution engine.
+
+Requests that arrive within one batching window are coalesced into a
+single :class:`~repro.exec.executor.ExecPlan`, so the engine's in-plan
+dedupe plus the content-addressed cache make N identical concurrent
+requests cost exactly one simulation.  A request whose key is already
+executing joins the in-flight future instead of resubmitting
+(single-flight), whatever window it arrives in — the service-layer
+analog of the paper's "never measure the same thing twice" methodology
+(§III-C motivates APEX the same way).
+
+Batched results are bit-identical to direct serial Engine runs: the
+batcher only *groups* tasks, and every task is a pure function of its
+payload (test-guarded in ``tests/test_serve.py``).
+
+One engine batch runs at a time, on a dedicated single worker thread;
+``drain()`` resolves whatever cannot finish in time with
+:class:`~repro.errors.DrainingError` so shutdown produces well-formed
+errors instead of hangs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Dict, List, Optional
+
+from ..errors import DrainingError, ServeError
+from ..exec.executor import Engine, ExecPlan, ExecTask
+from ..obs.metrics import get_registry
+
+
+def _mark_retrieved(fut: "asyncio.Future") -> None:
+    # A waiter that timed out (deadline) abandons its shielded future;
+    # touching the exception here keeps asyncio from logging
+    # "exception was never retrieved" for a result nobody consumed.
+    if not fut.cancelled():
+        fut.exception()
+
+
+class MicroBatcher:
+    """Coalesces concurrent requests into single engine plans."""
+
+    def __init__(self, engine: Engine, *, window_s: float = 0.002,
+                 max_batch: int = 64):
+        if window_s < 0:
+            raise ServeError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._pending: List[ExecTask] = []
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._wakeup: Optional[asyncio.Event] = None
+        self._runner: Optional[asyncio.Task] = None
+        self._thread: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def inflight(self) -> int:
+        """Distinct keys currently queued or executing."""
+        return len(self._inflight)
+
+    async def start(self) -> None:
+        if self._runner is not None:
+            raise ServeError("batcher already started")
+        self._wakeup = asyncio.Event()
+        self._thread = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-batch")
+        self._runner = asyncio.get_running_loop().create_task(
+            self._run_loop())
+
+    async def submit(self, task: ExecTask) -> Dict[str, object]:
+        """Enqueue one task; resolves with its JSON result payload.
+
+        Identical keys share one future (and one engine task): the
+        caller that arrives first enqueues, everyone else joins.
+        """
+        if self._closed or self._runner is None:
+            raise DrainingError(
+                "server is draining; no new work accepted")
+        fut = self._inflight.get(task.key)
+        if fut is None:
+            fut = asyncio.get_running_loop().create_future()
+            fut.add_done_callback(_mark_retrieved)
+            self._inflight[task.key] = fut
+            self._pending.append(task)
+            self._wakeup.set()
+        else:
+            get_registry().counter(
+                "repro_serve_singleflight_joins_total",
+                "requests served by joining an identical in-flight "
+                "computation").inc(kind=task.kind)
+        # shield: one waiter hitting its deadline must not cancel the
+        # computation other waiters (or the cache) still want
+        return await asyncio.shield(fut)
+
+    async def _run_loop(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            if self.window_s:
+                await asyncio.sleep(self.window_s)   # collect the window
+            batch = self._pending[:self.max_batch]
+            del self._pending[:len(batch)]
+            if not self._pending:
+                self._wakeup.clear()
+            if batch:
+                await self._run_batch(batch)
+
+    async def _run_batch(self, batch: List[ExecTask]) -> None:
+        registry = get_registry()
+        registry.counter(
+            "repro_serve_batches_total",
+            "engine batches executed by the micro-batcher").inc()
+        registry.histogram(
+            "repro_serve_batch_size",
+            "tasks per micro-batch (after single-flight dedupe)",
+            ).observe(float(len(batch)))
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._thread, self.engine.run, ExecPlan(list(batch)))
+        except asyncio.CancelledError:
+            # drain cancelled the runner mid-batch: leave the waiter
+            # futures pending — drain() settles them with DrainingError
+            # (absorbing the cancellation here would leak it into every
+            # waiter and leave this task alive)
+            raise
+        except BaseException as exc:   # noqa: BLE001 - routed to waiters
+            # the engine fails a plan atomically (deterministic
+            # min-index propagation), so every waiter of this batch
+            # sees the same error
+            for task in batch:
+                fut = self._inflight.pop(task.key, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(exc)
+        else:
+            for task, result in zip(batch, results):
+                fut = self._inflight.pop(task.key, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(result)
+
+    async def drain(self, timeout_s: float = 5.0) -> bool:
+        """Stop accepting work and settle every in-flight future.
+
+        Waits up to ``timeout_s`` for running work to finish; whatever
+        remains is resolved with :class:`DrainingError` (well-formed
+        errors, never hangs).  Returns True when everything completed
+        within the budget.
+        """
+        self._closed = True
+        waiting = [f for f in self._inflight.values() if not f.done()]
+        clean = True
+        if waiting:
+            done, still_pending = await asyncio.wait(
+                waiting, timeout=timeout_s)
+            clean = not still_pending
+        if self._runner is not None:
+            self._runner.cancel()
+            try:
+                await self._runner
+            except asyncio.CancelledError:
+                pass
+            self._runner = None
+        for fut in self._inflight.values():
+            if not fut.done():
+                fut.set_exception(DrainingError(
+                    "server shut down before this request completed"))
+        self._inflight.clear()
+        self._pending.clear()
+        if self._thread is not None:
+            # an abandoned batch keeps its thread until the engine call
+            # returns; wait only when nothing was abandoned
+            self._thread.shutdown(wait=clean)
+            self._thread = None
+        return clean

@@ -1,0 +1,181 @@
+"""Synchronous client for the simulation service.
+
+Stdlib-only (``http.client``), with retry + capped exponential backoff
++ deterministic jitter.  Retries honor the server's ``Retry-After``
+hint when it exceeds the computed backoff, and only fire for
+retryable outcomes: connection failures and 503 (overloaded /
+shutting_down).  400-class errors and 504 (deadline) are the caller's
+problem and surface immediately as :class:`~repro.errors.ServeError`
+subclasses mapped back from the structured error body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..errors import (ConfigError, DeadlineError, DrainingError,
+                      OverloadError, ReproError, ServeError)
+
+_RETRYABLE_STATUSES = (503,)
+
+# error-body code -> exception type raised client-side
+_CODE_TO_ERROR = {
+    "shutting_down": DrainingError,
+    "overloaded": OverloadError,
+    "deadline_exceeded": DeadlineError,
+    "bad_request": ConfigError,
+    "model_error": ReproError,
+    "internal": ServeError,
+    "not_found": ServeError,
+}
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One decoded server response."""
+
+    status: int
+    body: Dict[str, object]
+    latency_s: float
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.body.get("ok"))
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.body.get("degraded"))
+
+    @property
+    def result(self) -> Dict[str, object]:
+        return self.body.get("result", {})
+
+
+@dataclass
+class ServeClient:
+    """Talks to one server; safe to share across threads (each request
+    opens its own connection — the load generator depends on that)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8419
+    timeout_s: float = 60.0
+    retries: int = 2
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    jitter_seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ServeError(f"retries must be >= 0, got {self.retries}")
+        self._rng = random.Random(self.jitter_seed)
+
+    # ---- transport ---------------------------------------------------
+
+    def _once(self, method: str, path: str,
+              payload: Optional[Dict]) -> ServeResponse:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else b"")
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        started = time.monotonic()
+        try:
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json",
+                                  "Connection": "close"})
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+        finally:
+            conn.close()
+        latency = time.monotonic() - started
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"malformed response body (status {status}): "
+                f"{raw[:120]!r}") from exc
+        if retry_after is not None:
+            doc = dict(doc)
+            doc["_retry_after_s"] = float(retry_after)
+        return ServeResponse(status=status, body=doc, latency_s=latency)
+
+    def _backoff_s(self, attempt: int, hint: Optional[float]) -> float:
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** attempt))
+        delay = base * (0.5 + self._rng.random())   # 0.5x..1.5x jitter
+        if hint is not None:
+            delay = max(delay, hint)
+        return delay
+
+    def request(self, path: str, payload: Optional[Dict] = None, *,
+                method: str = "POST") -> ServeResponse:
+        """One logical request, with retries on 503/connection errors."""
+        last_exc: Optional[Exception] = None
+        last_resp: Optional[ServeResponse] = None
+        for attempt in range(self.retries + 1):
+            hint = None
+            try:
+                resp = self._once(method, path, payload)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                last_exc, last_resp = exc, None
+            else:
+                if resp.status not in _RETRYABLE_STATUSES:
+                    return ServeResponse(resp.status, resp.body,
+                                         resp.latency_s,
+                                         attempts=attempt + 1)
+                last_exc, last_resp = None, resp
+                hint = resp.body.get("_retry_after_s")
+            if attempt < self.retries:
+                time.sleep(self._backoff_s(attempt, hint))
+        if last_resp is not None:
+            return ServeResponse(last_resp.status, last_resp.body,
+                                 last_resp.latency_s,
+                                 attempts=self.retries + 1)
+        raise ServeError(
+            f"request to {path} failed after {self.retries + 1} "
+            f"attempts: {last_exc}") from last_exc
+
+    @staticmethod
+    def raise_for_body(resp: ServeResponse) -> ServeResponse:
+        """Map a structured error body to the client-side exception."""
+        if resp.ok:
+            return resp
+        err = resp.body.get("error", {})
+        cls = _CODE_TO_ERROR.get(str(err.get("code")), ServeError)
+        raise cls(f"server error [{err.get('code')}]: "
+                  f"{err.get('message')}")
+
+    # ---- typed helpers -----------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self.request("/healthz", method="GET").body
+
+    def metrics(self) -> Dict[str, object]:
+        return self.request("/metrics", method="GET").body
+
+    def simulate(self, **fields) -> ServeResponse:
+        return self.raise_for_body(
+            self.request("/v1/simulate", fields))
+
+    def compare(self, workloads: Sequence[str], **fields) -> ServeResponse:
+        payload = dict(fields)
+        payload["workloads"] = list(workloads)
+        return self.raise_for_body(
+            self.request("/v1/compare", payload))
+
+    def estimate(self, **fields) -> ServeResponse:
+        return self.raise_for_body(
+            self.request("/v1/estimate", fields))
+
+    def inject(self, **fields) -> ServeResponse:
+        return self.raise_for_body(
+            self.request("/v1/inject", fields))

@@ -1,0 +1,176 @@
+"""Deterministic open-loop load generator for ``repro serve``.
+
+The *schedule* — request mix, parameters, and exponential interarrival
+gaps — is a pure function of the seed (``numpy.random.default_rng``),
+so two runs against equally-warm servers issue byte-identical request
+streams.  Dispatch is open-loop: requests fire at their scheduled
+offsets regardless of completions (that is what makes overload
+observable — a closed loop would just slow down instead of shedding),
+from a thread pool sized generously above the concurrency the schedule
+can reach.
+
+The report carries throughput, latency percentiles (p50/p95/p99,
+nearest-rank), and outcome counts (ok / degraded / error / malformed);
+``repro loadgen`` writes it to ``BENCH_serve.json`` next to the other
+``BENCH_*.json`` artifacts so the golden harness's tooling can track
+service latency the way it tracks model numbers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ServeError
+from .client import ServeClient, ServeResponse
+
+# (route, weight) — the mix leans on simulate (the expensive path) with
+# enough estimate/compare traffic to exercise every handler.
+_MIX: Tuple[Tuple[str, float], ...] = (
+    ("/v1/simulate", 0.6),
+    ("/v1/estimate", 0.3),
+    ("/v1/compare", 0.1),
+)
+
+_WORKLOADS = ("daxpy", "dgemm-vsu", "stream-triad", "xz")
+_INSTRUCTIONS = (500, 1000, 2000)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run, fully determined by these fields."""
+
+    seed: int = 0
+    requests: int = 50
+    rate_per_s: float = 25.0
+    host: str = "127.0.0.1"
+    port: int = 8419
+    timeout_s: float = 60.0
+    deadline_ms: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServeError(
+                f"requests must be >= 1, got {self.requests}")
+        if self.rate_per_s <= 0:
+            raise ServeError(
+                f"rate_per_s must be positive, got {self.rate_per_s}")
+
+
+def build_schedule(config: LoadgenConfig,
+                   ) -> List[Tuple[float, str, Dict[str, object]]]:
+    """``(start_offset_s, route, payload)`` triples, seed-deterministic."""
+    rng = np.random.default_rng(config.seed)
+    routes = [r for r, _w in _MIX]
+    weights = np.array([w for _r, w in _MIX])
+    weights = weights / weights.sum()
+    gaps = rng.exponential(1.0 / config.rate_per_s,
+                           size=config.requests)
+    offsets = np.cumsum(gaps)
+    schedule: List[Tuple[float, str, Dict[str, object]]] = []
+    for i in range(config.requests):
+        route = routes[int(rng.choice(len(routes), p=weights))]
+        workload = _WORKLOADS[int(rng.integers(len(_WORKLOADS)))]
+        instructions = _INSTRUCTIONS[int(
+            rng.integers(len(_INSTRUCTIONS)))]
+        payload: Dict[str, object] = {"instructions": instructions}
+        if route == "/v1/compare":
+            payload["workloads"] = [workload]
+        else:
+            payload["workload"] = workload
+            payload["config"] = ("power10" if rng.random() < 0.7
+                                 else "power9")
+        if config.deadline_ms is not None \
+                and route != "/v1/estimate":
+            payload["deadline_ms"] = config.deadline_ms
+        schedule.append((float(offsets[i]), route, payload))
+    return schedule
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
+    return float(sorted_values[rank - 1])
+
+
+def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
+    """Fire the schedule at one server; returns the report dict."""
+    schedule = build_schedule(config)
+    # retries=0: the generator must observe shedding, not paper over it
+    client = ServeClient(host=config.host, port=config.port,
+                         timeout_s=config.timeout_s, retries=0)
+
+    def _fire(offset_s: float, route: str,
+              payload: Dict[str, object], start: float):
+        delay = start + offset_s - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            return client.request(route, payload), None
+        except ServeError as exc:        # connection failure / bad body
+            return None, str(exc)
+
+    outcomes: List[Tuple[Optional[ServeResponse], Optional[str]]] = []
+    started = time.monotonic()
+    max_workers = min(64, config.requests)
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix="repro-loadgen") as pool:
+        futures = [pool.submit(_fire, offset, route, payload, started)
+                   for offset, route, payload in schedule]
+        for fut in futures:              # plan order, not completion
+            outcomes.append(fut.result())
+    elapsed_s = time.monotonic() - started
+
+    latencies: List[float] = []
+    ok = degraded = errors = malformed = 0
+    by_route: Dict[str, int] = {}
+    for (_offset, route, _payload), (resp, failure) in zip(schedule,
+                                                           outcomes):
+        by_route[route] = by_route.get(route, 0) + 1
+        if resp is None:
+            malformed += 1
+            continue
+        latencies.append(resp.latency_s)
+        if resp.ok:
+            ok += 1
+            if resp.degraded:
+                degraded += 1
+        else:
+            errors += 1
+    latencies.sort()
+    report = {
+        "seed": config.seed,
+        "requests": config.requests,
+        "offered_rate_per_s": config.rate_per_s,
+        "elapsed_s": elapsed_s,
+        "throughput_per_s": (len(latencies) / elapsed_s
+                             if elapsed_s > 0 else 0.0),
+        "ok": ok,
+        "degraded": degraded,
+        "errors": errors,
+        "malformed": malformed,
+        "by_route": dict(sorted(by_route.items())),
+        "latency_s": {
+            "p50": _percentile(latencies, 50.0),
+            "p95": _percentile(latencies, 95.0),
+            "p99": _percentile(latencies, 99.0),
+            "max": latencies[-1] if latencies else 0.0,
+            "mean": (float(np.mean(latencies))
+                     if latencies else 0.0),
+        },
+    }
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

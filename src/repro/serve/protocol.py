@@ -1,0 +1,297 @@
+"""Wire protocol for the simulation service (``repro serve``).
+
+Every request body is a JSON object decoded into a frozen dataclass;
+validation happens here, through the :mod:`repro.errors` taxonomy, so a
+bad payload fails *before* it reaches the batcher and maps to a
+structured error body with a stable machine-readable code::
+
+    {"ok": false,
+     "error": {"code": "bad_request",
+               "type": "ConfigError",
+               "message": "unknown workload 'xs' (choices: ...)"}}
+
+Successful responses share one envelope::
+
+    {"ok": true, "degraded": false, "source": "engine", "result": {...}}
+
+``source`` is ``"engine"`` for full-fidelity answers and ``"proxy"``
+for power-proxy fast-path answers; ``degraded`` is true only when the
+server substituted the proxy for a request that *asked* for the engine
+(load shedding or a missed deadline), mirroring the paper's
+proxy-instead-of-measurement philosophy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from ..errors import (ConfigError, DeadlineError, DrainingError,
+                      OverloadError, ReproError, ResilienceError,
+                      ServeError, TraceError)
+
+GENERATIONS = ("power9", "power10")
+
+# Per-request ceilings: the service is interactive, so one request may
+# not monopolize the engine the way a batch CLI invocation legitimately
+# can.
+MAX_INSTRUCTIONS = 2_000_000
+MAX_COMPARE_WORKLOADS = 16
+MAX_FAULTS = 64
+
+
+def decode_json(body: bytes) -> Dict[str, object]:
+    """Parse a request body; empty bodies mean ``{}`` (all defaults)."""
+    if not body:
+        return {}
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"malformed JSON request body: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError("request body must be a JSON object")
+    return data
+
+
+def _reject_unknown(data: Dict[str, object], allowed: Tuple[str, ...],
+                    route: str) -> None:
+    # Unknown keys are typos until proven otherwise: silently ignoring
+    # them answers a different question than the caller asked (e.g.
+    # {"generation": "power9"} falling back to the default config).
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigError(
+            f"unknown field(s) for {route}: {', '.join(unknown)} "
+            f"(accepted: {', '.join(allowed)})")
+
+
+def _field(data: Dict[str, object], key: str, kind, default):
+    value = data.get(key, default)
+    if value is None:
+        return None
+    try:
+        return kind(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"field {key!r} must be {kind.__name__}: {value!r}") from exc
+
+
+def _check_generation(name: str) -> str:
+    if name not in GENERATIONS:
+        raise ConfigError(
+            f"unknown config {name!r} (choices: {', '.join(GENERATIONS)})")
+    return name
+
+
+def _check_workload(name: str) -> str:
+    from ..workloads.resolve import workload_names
+    if name not in workload_names():
+        choices = ", ".join(workload_names())
+        raise ConfigError(f"unknown workload {name!r} (choices: {choices})")
+    return name
+
+
+def _check_instructions(n: int) -> int:
+    if not 0 < n <= MAX_INSTRUCTIONS:
+        raise ConfigError(
+            f"instructions must be in [1, {MAX_INSTRUCTIONS}], got {n}")
+    return n
+
+
+def _check_deadline(ms: Optional[int]) -> Optional[int]:
+    if ms is not None and ms <= 0:
+        raise ConfigError(f"deadline_ms must be positive, got {ms}")
+    return ms
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """``POST /v1/simulate`` — one full-fidelity timing-model run."""
+
+    config: str = "power10"
+    workload: str = "xz"
+    instructions: int = 2000
+    warmup_fraction: float = 0.0
+    deadline_ms: Optional[int] = None
+
+    ROUTE = "/v1/simulate"
+
+    def __post_init__(self) -> None:
+        _check_generation(self.config)
+        _check_workload(self.workload)
+        _check_instructions(self.instructions)
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigError(
+                f"warmup_fraction must be in [0, 1), got "
+                f"{self.warmup_fraction}")
+        _check_deadline(self.deadline_ms)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SimulateRequest":
+        _reject_unknown(data, ("config", "workload", "instructions",
+                               "warmup_fraction", "deadline_ms"),
+                        cls.ROUTE)
+        return cls(
+            config=_field(data, "config", str, "power10"),
+            workload=_field(data, "workload", str, "xz"),
+            instructions=_field(data, "instructions", int, 2000),
+            warmup_fraction=_field(data, "warmup_fraction", float, 0.0),
+            deadline_ms=_field(data, "deadline_ms", int, None))
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CompareRequest:
+    """``POST /v1/compare`` — P9 vs P10 across a workload list."""
+
+    workloads: Tuple[str, ...] = ("daxpy",)
+    instructions: int = 2000
+    deadline_ms: Optional[int] = None
+
+    ROUTE = "/v1/compare"
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ConfigError("compare needs at least one workload")
+        if len(self.workloads) > MAX_COMPARE_WORKLOADS:
+            raise ConfigError(
+                f"compare accepts at most {MAX_COMPARE_WORKLOADS} "
+                f"workloads, got {len(self.workloads)}")
+        for name in self.workloads:
+            _check_workload(name)
+        _check_instructions(self.instructions)
+        _check_deadline(self.deadline_ms)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "CompareRequest":
+        _reject_unknown(data, ("workloads", "instructions",
+                               "deadline_ms"), cls.ROUTE)
+        raw = data.get("workloads", ["daxpy"])
+        if isinstance(raw, str) or not isinstance(raw, (list, tuple)):
+            raise ConfigError("field 'workloads' must be a list of names")
+        return cls(
+            workloads=tuple(str(w) for w in raw),
+            instructions=_field(data, "instructions", int, 2000),
+            deadline_ms=_field(data, "deadline_ms", int, None))
+
+    def to_json(self) -> Dict[str, object]:
+        doc = asdict(self)
+        doc["workloads"] = list(self.workloads)
+        return doc
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """``POST /v1/estimate`` — the explicit power-proxy fast path."""
+
+    config: str = "power10"
+    workload: str = "xz"
+    instructions: int = 2000
+
+    ROUTE = "/v1/estimate"
+
+    def __post_init__(self) -> None:
+        _check_generation(self.config)
+        _check_workload(self.workload)
+        _check_instructions(self.instructions)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "EstimateRequest":
+        _reject_unknown(data, ("config", "workload", "instructions"),
+                        cls.ROUTE)
+        return cls(
+            config=_field(data, "config", str, "power10"),
+            workload=_field(data, "workload", str, "xz"),
+            instructions=_field(data, "instructions", int, 2000))
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class InjectRequest:
+    """``POST /v1/inject`` — one seeded fault-injection run."""
+
+    seed: int = 0
+    config: str = "power10"
+    workload: str = "xz"
+    instructions: int = 2000
+    faults: int = 3
+    deadline_ms: Optional[int] = None
+
+    ROUTE = "/v1/inject"
+
+    def __post_init__(self) -> None:
+        _check_generation(self.config)
+        _check_workload(self.workload)
+        _check_instructions(self.instructions)
+        if not 0 < self.faults <= MAX_FAULTS:
+            raise ConfigError(
+                f"faults must be in [1, {MAX_FAULTS}], got {self.faults}")
+        _check_deadline(self.deadline_ms)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "InjectRequest":
+        _reject_unknown(data, ("seed", "config", "workload",
+                               "instructions", "faults", "deadline_ms"),
+                        cls.ROUTE)
+        return cls(
+            seed=_field(data, "seed", int, 0),
+            config=_field(data, "config", str, "power10"),
+            workload=_field(data, "workload", str, "xz"),
+            instructions=_field(data, "instructions", int, 2000),
+            faults=_field(data, "faults", int, 3),
+            deadline_ms=_field(data, "deadline_ms", int, None))
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+REQUEST_TYPES: Dict[str, Type] = {
+    SimulateRequest.ROUTE: SimulateRequest,
+    CompareRequest.ROUTE: CompareRequest,
+    EstimateRequest.ROUTE: EstimateRequest,
+    InjectRequest.ROUTE: InjectRequest,
+}
+
+
+# ---- response envelopes --------------------------------------------------
+
+def ok_body(result: Dict[str, object], *, degraded: bool = False,
+            source: str = "engine") -> Dict[str, object]:
+    return {"ok": True, "degraded": degraded, "source": source,
+            "result": result}
+
+
+# Exception -> (stable code, HTTP status).  Order matters: subclasses
+# must precede their bases so e.g. DrainingError does not fall through
+# to the generic ServeError mapping.
+_ERROR_TABLE: Tuple[Tuple[type, str, int], ...] = (
+    (DrainingError, "shutting_down", 503),
+    (OverloadError, "overloaded", 503),
+    (DeadlineError, "deadline_exceeded", 504),
+    (ConfigError, "bad_request", 400),
+    (TraceError, "bad_request", 400),
+    (ResilienceError, "bad_request", 400),
+    (ServeError, "bad_request", 400),
+    (ReproError, "model_error", 500),
+)
+
+
+def error_status(exc: BaseException) -> Tuple[str, int]:
+    """The stable error code and HTTP status for an exception."""
+    for etype, code, status in _ERROR_TABLE:
+        if isinstance(exc, etype):
+            return code, status
+    return "internal", 500
+
+
+def error_body(exc: BaseException) -> Dict[str, object]:
+    code, _status = error_status(exc)
+    return {"ok": False,
+            "error": {"code": code,
+                      "type": type(exc).__name__,
+                      "message": str(exc)}}

@@ -1,0 +1,567 @@
+"""``repro serve``: the simulation service front door.
+
+A hand-rolled JSON-over-HTTP/1.1 server on ``asyncio.start_server``
+(stdlib only — no aiohttp, no http.server).  Routes:
+
+* ``POST /v1/simulate`` — one full-fidelity timing-model run;
+* ``POST /v1/compare``  — P9 vs P10 over a workload list;
+* ``POST /v1/estimate`` — the explicit power-proxy fast path;
+* ``POST /v1/inject``   — one seeded fault-injection run;
+* ``GET /healthz``      — liveness + drain state;
+* ``GET /metrics``      — the obs metrics-registry dump.
+
+Request flow: admission control (token bucket + bounded in-flight)
+→ micro-batcher (single-flight dedupe into one Engine plan) → the
+PR 4 execution engine with its content-addressed cache.  A request
+that cannot be admitted or misses its deadline degrades to the
+power-proxy fast path (``"degraded": true``) when a proxy answer
+exists, and is rejected with 503 + ``Retry-After`` only when it does
+not.  Shutdown drains: the listener closes, in-flight work gets
+``drain_timeout_s`` to finish, and whatever remains is answered with a
+well-formed ``shutting_down`` error body — never a hang.
+
+Responses produced through the batcher are bit-identical to direct
+serial :class:`~repro.exec.executor.Engine` runs (test-guarded):
+batching only changes *when* a task runs, never what it computes, and
+power is recomputed in this process from exact cached activity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import (DeadlineError, DrainingError, OverloadError,
+                      ServeError)
+from ..exec.cache import sim_result_from_json
+from ..exec.executor import Engine, campaign_task, sim_task
+from ..obs.metrics import get_registry
+from . import protocol
+from .admission import AdmissionController, ProxyFastPath, TokenBucket
+from .batcher import MicroBatcher
+
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADERS = 100
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral (reported after start)
+    workers: Optional[int] = None      # None = $REPRO_WORKERS or 1
+    cache_dir: Optional[str] = None    # None = $REPRO_CACHE_DIR or off
+    window_ms: float = 2.0
+    max_batch: int = 64
+    max_inflight: int = 32
+    rate_per_s: Optional[float] = None   # None = no rate limit
+    burst: int = 16
+    default_deadline_ms: int = 30_000
+    drain_timeout_s: float = 5.0
+    calibration_instructions: int = 384
+    warm_fast_path: bool = False
+
+
+class ReproServer:
+    """One service instance; create, ``await start()``, ``await stop()``."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config if config is not None else ServeConfig()
+        self.engine: Optional[Engine] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self.admission: Optional[AdmissionController] = None
+        self.fastpath: Optional[ProxyFastPath] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._conn_tasks: set = set()
+        self._configs: Dict[str, object] = {}
+        self._traces: Dict[Tuple[str, int], object] = {}
+        self._trace_lock = threading.Lock()
+        self._handlers = {
+            protocol.SimulateRequest.ROUTE: self._handle_simulate,
+            protocol.CompareRequest.ROUTE: self._handle_compare,
+            protocol.EstimateRequest.ROUTE: self._handle_estimate,
+            protocol.InjectRequest.ROUTE: self._handle_inject,
+        }
+
+    # ---- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        from ..core import power9_config, power10_config
+        cfg = self.config
+        self._configs = {"power9": power9_config(),
+                         "power10": power10_config()}
+        self.engine = Engine(workers=cfg.workers, cache=cfg.cache_dir)
+        self.batcher = MicroBatcher(self.engine,
+                                    window_s=cfg.window_ms / 1000.0,
+                                    max_batch=cfg.max_batch)
+        bucket = (TokenBucket(cfg.rate_per_s, cfg.burst)
+                  if cfg.rate_per_s is not None else None)
+        self.admission = AdmissionController(
+            max_inflight=cfg.max_inflight, bucket=bucket)
+        self.fastpath = ProxyFastPath(
+            calibration_instructions=cfg.calibration_instructions)
+        if cfg.warm_fast_path:
+            await asyncio.to_thread(self.fastpath.warm)
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn, cfg.host, cfg.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> bool:
+        """Graceful drain; returns True when everything finished in
+        budget (False = remaining work was answered with errors)."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        clean = True
+        if self.batcher is not None:
+            clean = await self.batcher.drain(self.config.drain_timeout_s)
+        # let connection handlers flush their (possibly error) responses
+        tasks = [t for t in self._conn_tasks if not t.done()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=2.0)
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+        if self.engine is not None:
+            self.engine.close(wait=clean)
+        return clean
+
+    # ---- shared helpers ----------------------------------------------
+
+    def _build_trace(self, workload: str, instructions: int):
+        """Resolve-and-memoize a workload trace (bounded in-memory)."""
+        from ..workloads.resolve import resolve_workload
+        key = (workload, instructions)
+        with self._trace_lock:
+            trace = self._traces.get(key)
+            if trace is None:
+                if len(self._traces) >= 128:
+                    self._traces.clear()
+                trace = resolve_workload(workload, instructions)
+                self._traces[key] = trace
+        return trace
+
+    def _deadline_s(self, deadline_ms: Optional[int]) -> float:
+        return (deadline_ms if deadline_ms is not None
+                else self.config.default_deadline_ms) / 1000.0
+
+    async def _proxy_answer(self, generation: str, workload: str,
+                            instructions: int, *, degraded: bool,
+                            reason: str = "") -> Dict[str, object]:
+        est = await asyncio.to_thread(
+            self.fastpath.estimate, generation, workload, instructions)
+        body = protocol.ok_body(est, degraded=degraded, source="proxy")
+        if reason:
+            body["shed_reason"] = reason
+        return body
+
+    @staticmethod
+    def _reject(decision) -> Tuple[int, Dict, Dict[str, str]]:
+        exc = OverloadError(
+            f"server overloaded ({decision.reason}); retry after "
+            f"{decision.retry_after_s:.1f}s")
+        retry = str(max(1, int(round(decision.retry_after_s))))
+        return 503, protocol.error_body(exc), {"Retry-After": retry}
+
+    def _measure(self, generation: str, payload: Dict) -> Dict[str, object]:
+        """Decode an engine sim payload into response fields; power is
+        recomputed here from exact activity, like every engine caller."""
+        from ..core.simulator import measurement_from_result
+        result = sim_result_from_json(payload)
+        m = measurement_from_result(self._configs[generation], result)
+        return {"config": generation,
+                "workload": result.metadata.get("trace", ""),
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "ipc": m.ipc,
+                "power_w": m.power_w,
+                "flops_per_cycle": m.flops_per_cycle}
+
+    # ---- route handlers ----------------------------------------------
+
+    async def _handle_simulate(self, req: protocol.SimulateRequest):
+        decision = self.admission.decide(degradable=True)
+        if not decision.admitted:
+            body = await self._proxy_answer(
+                req.config, req.workload, req.instructions,
+                degraded=True, reason=decision.reason)
+            return 200, body, {}
+        try:
+            trace = await asyncio.to_thread(
+                self._build_trace, req.workload, req.instructions)
+            task = sim_task(self._configs[req.config], trace,
+                            warmup_fraction=req.warmup_fraction)
+            try:
+                payload = await asyncio.wait_for(
+                    self.batcher.submit(task),
+                    timeout=self._deadline_s(req.deadline_ms))
+            except asyncio.TimeoutError:
+                body = await self._proxy_answer(
+                    req.config, req.workload, req.instructions,
+                    degraded=True, reason="deadline")
+                return 200, body, {}
+            fields = self._measure(req.config, payload)
+            fields["workload"] = req.workload
+            return 200, protocol.ok_body(fields), {}
+        finally:
+            self.admission.release()
+
+    async def _handle_compare(self, req: protocol.CompareRequest):
+        decision = self.admission.decide(degradable=True)
+        if not decision.admitted:
+            body = await self._degraded_compare(req, decision.reason)
+            return 200, body, {}
+        try:
+            traces = [await asyncio.to_thread(self._build_trace, w,
+                                              req.instructions)
+                      for w in req.workloads]
+            generations = ("power9", "power10")
+            tasks = [sim_task(self._configs[g], t)
+                     for g in generations for t in traces]
+            try:
+                payloads = await asyncio.wait_for(
+                    asyncio.gather(*[self.batcher.submit(t)
+                                     for t in tasks]),
+                    timeout=self._deadline_s(req.deadline_ms))
+            except asyncio.TimeoutError:
+                body = await self._degraded_compare(req, "deadline")
+                return 200, body, {}
+            n = len(traces)
+            rows = []
+            perf = power = wsum = 0.0
+            for i, trace in enumerate(traces):
+                m9 = self._measure("power9", payloads[i])
+                m10 = self._measure("power10", payloads[n + i])
+                weight = float(getattr(trace, "weight", 1.0))
+                wsum += weight
+                perf += weight * m10["ipc"] / m9["ipc"]
+                power += weight * m10["power_w"] / m9["power_w"]
+                rows.append({
+                    "workload": req.workloads[i], "weight": weight,
+                    "p9_ipc": m9["ipc"], "p10_ipc": m10["ipc"],
+                    "p9_power_w": m9["power_w"],
+                    "p10_power_w": m10["power_w"],
+                    "perf_ratio": m10["ipc"] / m9["ipc"],
+                    "power_ratio": m10["power_w"] / m9["power_w"]})
+            result = {"workloads": rows,
+                      "aggregate": {
+                          "perf_ratio": perf / wsum,
+                          "power_ratio": power / wsum,
+                          "perf_per_watt_ratio": perf / power}}
+            return 200, protocol.ok_body(result), {}
+        finally:
+            self.admission.release()
+
+    async def _degraded_compare(self, req: protocol.CompareRequest,
+                                reason: str) -> Dict[str, object]:
+        rows = []
+        perf = power = wsum = 0.0
+        for name in req.workloads:
+            e9 = await asyncio.to_thread(
+                self.fastpath.estimate, "power9", name,
+                req.instructions)
+            e10 = await asyncio.to_thread(
+                self.fastpath.estimate, "power10", name,
+                req.instructions)
+            wsum += 1.0
+            perf += e10["ipc"] / e9["ipc"]
+            power += e10["power_w"] / e9["power_w"]
+            rows.append({
+                "workload": name, "weight": 1.0,
+                "p9_ipc": e9["ipc"], "p10_ipc": e10["ipc"],
+                "p9_power_w": e9["power_w"],
+                "p10_power_w": e10["power_w"],
+                "perf_ratio": e10["ipc"] / e9["ipc"],
+                "power_ratio": e10["power_w"] / e9["power_w"]})
+        result = {"workloads": rows,
+                  "aggregate": {
+                      "perf_ratio": perf / wsum,
+                      "power_ratio": power / wsum,
+                      "perf_per_watt_ratio": perf / power}}
+        body = protocol.ok_body(result, degraded=True, source="proxy")
+        body["shed_reason"] = reason
+        return body
+
+    async def _handle_estimate(self, req: protocol.EstimateRequest):
+        # the explicit fast path: never batched, never sheds further
+        body = await self._proxy_answer(req.config, req.workload,
+                                        req.instructions, degraded=False)
+        return 200, body, {}
+
+    async def _handle_inject(self, req: protocol.InjectRequest):
+        from ..resilience.campaign import CampaignConfig
+        decision = self.admission.decide(degradable=False)
+        if not decision.admitted:
+            return self._reject(decision)
+        try:
+            cconfig = CampaignConfig(
+                seed=req.seed, runs=1, workload=req.workload,
+                instructions=req.instructions,
+                faults_per_run=req.faults, generation=req.config)
+            task = campaign_task(cconfig, 0)
+            try:
+                payload = await asyncio.wait_for(
+                    self.batcher.submit(task),
+                    timeout=self._deadline_s(req.deadline_ms))
+            except asyncio.TimeoutError:
+                raise DeadlineError(
+                    "fault-injection run missed its deadline (no "
+                    "proxy fast path exists for /v1/inject)") from None
+            return 200, protocol.ok_body({"run": payload}), {}
+        finally:
+            self.admission.release()
+
+    # ---- HTTP plumbing ------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, Dict, Dict[str, str]]:
+        registry = get_registry()
+        started = time.monotonic()
+        headers: Dict[str, str] = {}
+        try:
+            if path == "/healthz":
+                status, doc = self._healthz(method)
+            elif path == "/metrics":
+                if method != "GET":
+                    raise ServeError("use GET for /metrics")
+                status, doc = 200, registry.collect()
+            else:
+                cls = protocol.REQUEST_TYPES.get(path)
+                if cls is None:
+                    status, doc = 404, {
+                        "ok": False,
+                        "error": {"code": "not_found",
+                                  "type": "ServeError",
+                                  "message": f"no route {path}"}}
+                elif method != "POST":
+                    raise ServeError(f"use POST for {path}")
+                elif self._draining:
+                    raise DrainingError("server is draining")
+                else:
+                    req = cls.from_json(protocol.decode_json(body))
+                    status, doc, headers = \
+                        await self._handlers[path](req)
+        except Exception as exc:    # every error -> structured body
+            code, status = protocol.error_status(exc)
+            doc = protocol.error_body(exc)
+            if status == 503 and "Retry-After" not in headers:
+                headers["Retry-After"] = "1"
+        registry.counter(
+            "repro_serve_requests_total",
+            "requests served, by route and status").inc(
+                route=path, status=status)
+        registry.histogram(
+            "repro_serve_request_seconds",
+            "request handling latency").observe(
+                time.monotonic() - started, route=path)
+        return status, doc, headers
+
+    def _healthz(self, method: str) -> Tuple[int, Dict]:
+        if method != "GET":
+            raise ServeError("use GET for /healthz")
+        from .. import __version__
+        return 200, {"status": "draining" if self._draining else "ok",
+                     "version": __version__,
+                     "workers": self.engine.workers,
+                     "inflight": self.batcher.inflight,
+                     "admitted": self.admission.inflight}
+
+    async def _read_request(self, reader):
+        """One HTTP/1.1 request; None on clean EOF.
+
+        Returns ``(method, path, headers, body)`` or raises
+        :class:`ServeError` on a malformed request.
+        """
+        try:
+            line = await reader.readline()
+        except ValueError as exc:       # request line over the limit
+            raise ServeError(f"request line too long: {exc}") from exc
+        if not line:
+            return None
+        parts = line.split()
+        if len(parts) != 3:
+            raise ServeError(f"malformed request line: {line[:80]!r}")
+        method = parts[0].decode("latin-1").upper()
+        path = parts[1].decode("latin-1").split("?", 1)[0]
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS):
+            try:
+                raw = await reader.readline()
+            except ValueError as exc:
+                raise ServeError(f"header too long: {exc}") from exc
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise ServeError(f"malformed header: {raw[:80]!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ServeError(f"more than {MAX_HEADERS} headers")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise ServeError("bad Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ServeError(
+                f"body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _write_response(self, writer, status: int, doc: Dict,
+                              extra: Dict[str, str],
+                              keep_alive: bool) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(payload)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        for name, value in sorted(extra.items()):
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    async def _handle_conn(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ServeError as exc:
+                    await self._write_response(
+                        writer, 400, protocol.error_body(exc), {},
+                        keep_alive=False)
+                    break
+                except asyncio.IncompleteReadError:
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, doc, extra = await self._dispatch(
+                    method, path, body)
+                keep = (headers.get("connection", "").lower() != "close"
+                        and not self._draining)
+                await self._write_response(writer, status, doc, extra,
+                                           keep_alive=keep)
+                if not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+# ---- entry points --------------------------------------------------------
+
+async def _serve_main(config: ServeConfig) -> None:
+    server = ReproServer(config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+    print(f"repro serve listening on http://{config.host}:{server.port} "
+          f"(workers={server.engine.workers}, "
+          f"cache={'on' if server.engine.cache is not None else 'off'})",
+          flush=True)
+    await stop.wait()
+    print("draining ...", flush=True)
+    clean = await server.stop()
+    label = ("clean" if clean else
+             "forced (in-flight work answered with shutting_down errors)")
+    print(f"shutdown {label}", flush=True)
+
+
+def run_server(config: ServeConfig) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    try:
+        asyncio.run(_serve_main(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class ServerHandle:
+    """A server running on its own thread (tests, ``--self-serve``)."""
+
+    def __init__(self) -> None:
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self.clean: Optional[bool] = None
+        self._loop = None
+        self._stop_event = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def stop(self, timeout_s: float = 30.0) -> bool:
+        """Request drain and join the server thread."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass                    # loop already closed
+        self._thread.join(timeout=timeout_s)
+        if self._thread.is_alive():
+            raise ServeError("server thread did not stop in time")
+        return bool(self.clean)
+
+
+def start_in_thread(config: Optional[ServeConfig] = None) -> ServerHandle:
+    """Start a server on a background thread; returns once it listens."""
+    config = config if config is not None else ServeConfig()
+    handle = ServerHandle()
+    started = threading.Event()
+
+    async def _main() -> None:
+        server = ReproServer(config)
+        try:
+            await server.start()
+        except BaseException as exc:    # noqa: BLE001 - reported to caller
+            handle.error = exc
+            started.set()
+            return
+        handle.port = server.port
+        handle._loop = asyncio.get_running_loop()
+        handle._stop_event = asyncio.Event()
+        started.set()
+        await handle._stop_event.wait()
+        handle.clean = await server.stop()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_main()),
+                              name="repro-serve", daemon=True)
+    handle._thread = thread
+    thread.start()
+    if not started.wait(timeout=60.0):
+        raise ServeError("server did not start within 60s")
+    if handle.error is not None:
+        raise handle.error
+    return handle

@@ -219,6 +219,39 @@ class TestEngine:
             Engine(workers=2).run(ExecPlan(tasks))
 
 
+class TestEngineLifecycle:
+    def test_pool_persists_across_runs(self, p10):
+        engine = Engine(workers=2)
+        assert engine._pool is None          # lazy: no pool until work
+        engine.run(ExecPlan(_plan(p10)[:2]))
+        pool = engine._pool
+        assert pool is not None
+        engine.run(ExecPlan(_plan(p10)[:2]))
+        assert engine._pool is pool          # reused, not respawned
+        engine.close()
+
+    def test_close_is_idempotent_and_engine_stays_usable(self, p10):
+        engine = Engine(workers=2)
+        first = engine.run(ExecPlan(_plan(p10)[:2]))
+        engine.close()
+        assert engine._pool is None
+        engine.close()                        # second close is a no-op
+        again = engine.run(ExecPlan(_plan(p10)[:2]))
+        assert again == first                 # fresh pool, same bits
+        engine.close()
+
+    def test_context_manager_closes_pool(self, p10):
+        with Engine(workers=2) as engine:
+            engine.run(ExecPlan(_plan(p10)[:2]))
+            assert engine._pool is not None
+        assert engine._pool is None
+
+    def test_serial_engine_never_builds_a_pool(self, p10):
+        with Engine(workers=1) as engine:
+            engine.run(ExecPlan(_plan(p10)[:2]))
+            assert engine._pool is None
+
+
 # ---- acceptance: rewired hot paths --------------------------------------
 
 def _compare_snapshot(out):

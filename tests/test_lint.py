@@ -257,6 +257,50 @@ class TestR006MetricRegistration:
             found[0].message
 
 
+class TestServeLayerCoverage:
+    """The serving layer (PR 5) is a deliberate R003 carve-out — wall
+    clocks are what a service is made of — but every other contract
+    still applies there in full."""
+
+    SERVE = "repro/serve/fixture.py"
+
+    def test_r003_carve_out_for_serve(self, engine):
+        src = 'import time\nt = time.monotonic()\n'
+        assert not lint(engine, src, relpath=self.SERVE, rule="R003")
+        # the same source in model code is still an error
+        assert lint(engine, src, relpath="repro/core/fixture.py",
+                    rule="R003")
+
+    def test_r003_still_covers_exec(self, engine):
+        src = 'import time\nt = time.monotonic()\n'
+        assert lint(engine, src, relpath="repro/exec/fixture.py",
+                    rule="R003")
+
+    def test_r004_applies_to_serve(self, engine):
+        found = lint(engine, 'raise ValueError("nope")',
+                     relpath=self.SERVE, rule="R004")
+        assert len(found) == 1
+
+    def test_r005_applies_to_serve(self, engine):
+        src = ('@dataclass\n'
+               'class ShardConfig:\n'
+               '    depth: int = 1\n')
+        assert lint(engine, src, relpath=self.SERVE, rule="R005")
+
+    def test_r006_applies_to_serve(self, engine):
+        found = lint(engine, 'reg.counter("repro_serve_bogus_total")',
+                     relpath=self.SERVE, rule="R006")
+        assert len(found) == 1
+
+    def test_serve_metrics_declared(self, engine):
+        assert not lint(
+            engine,
+            'reg.counter("repro_serve_requests_total")\n'
+            'reg.gauge("repro_serve_inflight")\n'
+            'reg.histogram("repro_serve_batch_size")\n',
+            relpath=self.SERVE, rule="R006")
+
+
 class TestBaseline:
     def make_finding(self, line=3):
         return Finding(rule="R004", severity=Severity.WARNING,

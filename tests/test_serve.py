@@ -1,0 +1,432 @@
+"""The serving layer's contracts: protocol, batching, admission, drain.
+
+The acceptance bar mirrors the execution engine's: answers produced
+through the batcher must be *bit-identical* to direct serial runs —
+batching and single-flight may change when work runs, never what it
+computes.  The service-specific contracts stack on top: N concurrent
+identical requests cost exactly one backend simulation; overload
+degrades to power-proxy answers (``"degraded": true``) before 503;
+and shutdown mid-request produces well-formed ``shutting_down`` error
+bodies, never hangs.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import power10_config
+from repro.core.pipeline import simulate
+from repro.core.simulator import measurement_from_result
+from repro.errors import (ConfigError, DrainingError, OverloadError,
+                          ServeError)
+from repro.obs.metrics import get_registry
+from repro.serve import (EstimateRequest, LoadgenConfig, ServeClient,
+                         ServeConfig, SimulateRequest, TokenBucket,
+                         build_schedule, error_body, error_status,
+                         run_loadgen, start_in_thread)
+from repro.serve.admission import AdmissionController
+from repro.workloads import resolve_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_engine_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+def _exec_counts():
+    counter = get_registry().counter("repro_exec_tasks_total")
+    return (counter.value(kind="sim", source="executed"),
+            counter.value(kind="sim", source="cache"))
+
+
+def _client(handle, **kw):
+    kw.setdefault("retries", 0)
+    return ServeClient(host="127.0.0.1", port=handle.port, **kw)
+
+
+# ---- protocol ------------------------------------------------------------
+
+class TestProtocol:
+    def test_defaults_validate(self):
+        req = SimulateRequest()
+        assert req.config == "power10" and req.instructions == 2000
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            SimulateRequest(workload="no-such-kernel")
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config"):
+            SimulateRequest(config="power11")
+
+    def test_instruction_ceiling(self):
+        with pytest.raises(ConfigError, match="instructions"):
+            SimulateRequest(instructions=50_000_000)
+
+    def test_unknown_field_rejected(self):
+        # a typo'd key must not silently fall back to a default —
+        # {"generation": ...} would otherwise answer for power10
+        with pytest.raises(ConfigError, match="unknown field"):
+            EstimateRequest.from_json({"generation": "power9"})
+        with pytest.raises(ConfigError, match="unknown field"):
+            SimulateRequest.from_json({"instructions": 100,
+                                       "warmup": 0.5})
+
+    def test_from_json_type_coercion_error(self):
+        with pytest.raises(ConfigError, match="instructions"):
+            SimulateRequest.from_json({"instructions": "lots"})
+
+    def test_round_trip(self):
+        req = SimulateRequest(workload="daxpy", instructions=512)
+        assert SimulateRequest.from_json(req.to_json()) == req
+
+    def test_error_table_subclass_order(self):
+        # DrainingError is a ServeError; it must map to shutting_down,
+        # not fall through to the generic bad_request entry
+        assert error_status(DrainingError("x")) == ("shutting_down", 503)
+        assert error_status(OverloadError("x")) == ("overloaded", 503)
+        assert error_status(ServeError("x")) == ("bad_request", 400)
+        assert error_status(KeyError("x")) == ("internal", 500)
+
+    def test_error_body_shape(self):
+        body = error_body(ConfigError("bad thing"))
+        assert body == {"ok": False,
+                        "error": {"code": "bad_request",
+                                  "type": "ConfigError",
+                                  "message": "bad thing"}}
+
+
+# ---- admission -----------------------------------------------------------
+
+class TestAdmission:
+    def test_token_bucket_refills_on_fake_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(2.0, 1, clock=lambda: now[0])
+        assert bucket.try_take()
+        assert not bucket.try_take()
+        assert bucket.retry_after_s() == pytest.approx(0.5)
+        now[0] += 0.5
+        assert bucket.try_take()
+
+    def test_inflight_bound_degrades_then_rejects(self):
+        ctl = AdmissionController(max_inflight=1)
+        assert ctl.decide(degradable=True).admitted
+        shed = ctl.decide(degradable=True)
+        assert shed.action == "degrade" and shed.reason == "queue"
+        assert ctl.decide(degradable=False).action == "reject"
+        ctl.release()
+        assert ctl.decide(degradable=True).admitted
+
+    def test_unmatched_release_raises(self):
+        with pytest.raises(ServeError, match="release"):
+            AdmissionController().release()
+
+
+# ---- one shared live server ---------------------------------------------
+
+@pytest.fixture(scope="class")
+def server():
+    # class-scoped, so it sets up before the function-scoped env
+    # monkeypatch: scrub the engine env vars by hand
+    import os
+    saved = {k: os.environ.pop(k)
+             for k in ("REPRO_WORKERS", "REPRO_CACHE_DIR")
+             if k in os.environ}
+    handle = start_in_thread(ServeConfig(window_ms=1.0))
+    yield handle
+    handle.stop()
+    os.environ.update(saved)
+
+
+@pytest.mark.usefixtures("server")
+class TestLiveServer:
+    def test_healthz_and_metrics(self, server):
+        client = _client(server)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 1
+        metrics = client.metrics()
+        assert "repro_serve_requests_total" in metrics
+
+    def test_simulate_bit_identical_to_direct_run(self, server):
+        """The tentpole guarantee: a served answer equals a direct
+        in-process run, float-for-float (exact ==, no tolerance)."""
+        config = power10_config()
+        trace = resolve_workload("daxpy", 900)
+        direct = simulate(config, trace)
+        m = measurement_from_result(config, direct)
+        resp = _client(server).simulate(workload="daxpy",
+                                        instructions=900)
+        assert resp.ok and not resp.degraded
+        assert resp.body["source"] == "engine"
+        assert resp.result["cycles"] == direct.cycles
+        assert resp.result["ipc"] == m.ipc
+        assert resp.result["power_w"] == m.power_w
+        assert resp.result["flops_per_cycle"] == m.flops_per_cycle
+
+    def test_concurrent_identical_requests_single_flight(self, server):
+        """Six concurrent identical requests -> exactly one backend
+        simulation, and six bit-identical response bodies."""
+        joins = get_registry().counter(
+            "repro_serve_singleflight_joins_total")
+        executed0, cached0 = _exec_counts()
+        joins0 = joins.total
+        barrier = threading.Barrier(6)
+        responses = [None] * 6
+
+        def worker(i):
+            client = _client(server, timeout_s=120.0)
+            barrier.wait()
+            responses[i] = client.simulate(workload="pointer-chase",
+                                           instructions=20_000)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert all(r is not None and r.ok for r in responses)
+        executed1, cached1 = _exec_counts()
+        assert executed1 - executed0 == 1      # exactly one simulation
+        assert cached1 == cached0              # and not via the cache
+        assert joins.total - joins0 == 5       # everyone else joined
+        bodies = {json.dumps(r.body, sort_keys=True)
+                  for r in responses}
+        assert len(bodies) == 1                # bit-identical answers
+
+    def test_estimate_is_proxy_not_engine(self, server):
+        executed0, _ = _exec_counts()
+        resp = _client(server).estimate(workload="daxpy",
+                                        instructions=5000)
+        assert resp.ok and not resp.degraded
+        assert resp.body["source"] == "proxy"
+        assert resp.result["power_w"] > 0
+        assert resp.result["cycles"] > 0
+        assert resp.result["proxy_counters"]
+        executed1, _ = _exec_counts()
+        assert executed1 == executed0          # engine never touched
+
+    def test_compare_route_aggregates(self, server):
+        resp = _client(server).compare(["daxpy"], instructions=600)
+        assert resp.ok
+        agg = resp.result["aggregate"]
+        row = resp.result["workloads"][0]
+        assert row["perf_ratio"] == agg["perf_ratio"]
+        assert agg["perf_per_watt_ratio"] == pytest.approx(
+            agg["perf_ratio"] / agg["power_ratio"])
+        assert row["p10_ipc"] > 0 and row["p9_power_w"] > 0
+
+    def test_inject_route_matches_campaign_runner(self, server):
+        from repro.resilience import CampaignConfig, CampaignRunner
+        resp = _client(server, timeout_s=120.0).inject(
+            seed=7, workload="daxpy", instructions=800, faults=2)
+        assert resp.ok
+        direct = CampaignRunner(CampaignConfig(
+            seed=7, runs=1, workload="daxpy", instructions=800,
+            faults_per_run=2, generation="power10")).run_one(0)
+        assert resp.result["run"] == json.loads(
+            json.dumps(direct.to_json()))
+
+    def test_bad_payload_gets_stable_code(self, server):
+        resp = _client(server).request(
+            "/v1/simulate", {"workload": "no-such-kernel"})
+        assert resp.status == 400
+        assert resp.body["error"]["code"] == "bad_request"
+        assert "no-such-kernel" in resp.body["error"]["message"]
+
+    def test_malformed_json_gets_400(self, server):
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        conn.request("POST", "/v1/simulate", body=b"{nope",
+                     headers={"Content-Type": "application/json"})
+        raw = conn.getresponse()
+        doc = json.loads(raw.read())
+        conn.close()
+        assert raw.status == 400
+        assert doc["error"]["code"] == "bad_request"
+
+    def test_unknown_route_404(self, server):
+        resp = _client(server).request("/v1/nope", {})
+        assert resp.status == 404
+        assert resp.body["error"]["code"] == "not_found"
+
+    def test_wrong_method_400(self, server):
+        resp = _client(server).request("/v1/simulate", None,
+                                       method="GET")
+        assert resp.status == 400
+
+    def test_keep_alive_serves_multiple_requests(self, server):
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=30)
+        for _ in range(3):
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            doc = json.loads(resp.read())
+            assert resp.status == 200 and doc["status"] == "ok"
+        conn.close()
+
+
+# ---- overload: degrade before 503 ----------------------------------------
+
+class TestOverload:
+    def test_shedding_degrades_then_rejects(self):
+        # burst=1 and a glacial refill: the first simulate takes the
+        # only token, everything after is shed
+        handle = start_in_thread(ServeConfig(
+            window_ms=1.0, rate_per_s=0.001, burst=1))
+        try:
+            client = _client(handle, timeout_s=120.0)
+            first = client.simulate(workload="daxpy", instructions=400)
+            assert first.ok and not first.degraded
+
+            shed = client.simulate(workload="daxpy", instructions=400)
+            assert shed.ok and shed.degraded          # never a 503
+            assert shed.body["source"] == "proxy"
+            assert shed.body["shed_reason"] == "rate"
+            assert shed.result["power_w"] > 0
+
+            shed2 = client.compare(["daxpy"], instructions=400)
+            assert shed2.ok and shed2.degraded
+
+            # inject has no proxy equivalent -> 503 + Retry-After
+            raw = client.request("/v1/inject",
+                                 {"workload": "daxpy",
+                                  "instructions": 400})
+            assert raw.status == 503
+            assert raw.body["error"]["code"] == "overloaded"
+            assert raw.body["_retry_after_s"] >= 1.0
+
+            shed_counter = get_registry().counter(
+                "repro_serve_shed_total")
+            assert shed_counter.value(action="degrade",
+                                      reason="rate") >= 2
+            assert shed_counter.value(action="reject",
+                                      reason="rate") >= 1
+        finally:
+            handle.stop()
+
+    def test_degraded_answers_are_deterministic(self):
+        handle = start_in_thread(ServeConfig(
+            window_ms=1.0, rate_per_s=0.001, burst=1))
+        try:
+            client = _client(handle, timeout_s=120.0)
+            client.simulate(workload="daxpy", instructions=400)
+            a = client.simulate(workload="daxpy", instructions=400)
+            b = client.simulate(workload="daxpy", instructions=400)
+            assert a.degraded and b.degraded
+            assert a.result == b.result
+        finally:
+            handle.stop()
+
+
+# ---- drain: well-formed errors, never hangs ------------------------------
+
+class TestDrain:
+    def test_clean_drain_after_idle(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        client = _client(handle)
+        assert client.simulate(workload="daxpy",
+                               instructions=300).ok
+        assert handle.stop() is True               # nothing abandoned
+
+    def test_kill_mid_request_returns_wellformed_error(self):
+        """Shut the server down while a multi-second simulation is in
+        flight: the waiter gets a structured shutting_down body (not a
+        hang, not a dropped connection) and stop() reports the forced
+        drain."""
+        handle = start_in_thread(ServeConfig(window_ms=1.0,
+                                             drain_timeout_s=0.3))
+        outcome = {}
+
+        def slow_request():
+            client = _client(handle, timeout_s=120.0)
+            outcome["resp"] = client.request(
+                "/v1/simulate", {"workload": "pointer-chase",
+                                 "instructions": 50_000})
+
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        try:
+            # wait until the request is actually inside the batcher
+            client = _client(handle)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if client.healthz().get("inflight", 0) >= 1:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("request never reached the batcher")
+            clean = handle.stop()
+        finally:
+            worker.join(timeout=120)
+        assert not worker.is_alive()               # no hang
+        assert clean is False                      # work was abandoned
+        resp = outcome["resp"]
+        assert resp.status == 503
+        assert resp.body["ok"] is False
+        assert resp.body["error"]["code"] == "shutting_down"
+
+    def test_requests_after_drain_start_are_refused(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        port = handle.port
+        assert handle.stop() is True
+        client = ServeClient(host="127.0.0.1", port=port, retries=0)
+        with pytest.raises(ServeError):
+            client.request("/healthz", method="GET")
+
+
+# ---- load generation -----------------------------------------------------
+
+class TestLoadgen:
+    def test_schedule_is_seed_deterministic(self):
+        config = LoadgenConfig(seed=11, requests=40, rate_per_s=100.0)
+        a = build_schedule(config)
+        b = build_schedule(config)
+        assert a == b
+        c = build_schedule(LoadgenConfig(seed=12, requests=40,
+                                         rate_per_s=100.0))
+        assert a != c
+        offsets = [off for off, _r, _p in a]
+        assert offsets == sorted(offsets)
+        assert all(r in ("/v1/simulate", "/v1/estimate", "/v1/compare")
+                   for _o, r, _p in a)
+
+    def test_loadgen_against_live_server(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        try:
+            report = run_loadgen(LoadgenConfig(
+                seed=5, requests=8, rate_per_s=50.0,
+                host="127.0.0.1", port=handle.port))
+        finally:
+            handle.stop()
+        assert report["malformed"] == 0
+        assert report["errors"] == 0
+        assert report["ok"] == 8
+        assert report["throughput_per_s"] > 0
+        lat = report["latency_s"]
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+        assert sum(report["by_route"].values()) == 8
+
+    def test_cli_self_serve_writes_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "BENCH_serve.json"
+        assert main(["loadgen", "--self-serve", "--requests", "6",
+                     "--rate", "40", "--seed", "2",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["requests"] == 6
+        assert doc["malformed"] == 0
+        assert {"p50", "p95", "p99"} <= set(doc["latency_s"])
+        assert "latency p50" in capsys.readouterr().out
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ServeError):
+            LoadgenConfig(requests=0)
+        with pytest.raises(ServeError):
+            LoadgenConfig(rate_per_s=0)
