@@ -18,9 +18,12 @@ Commands:
 * ``lint``     — static analysis proving the event/energy/determinism
   contracts (rules R001–R006, see :mod:`repro.lint`);
 * ``serve``    — the long-lived JSON-over-HTTP simulation service
-  (micro-batching, admission control, power-proxy fast path);
+  (micro-batching, admission control, power-proxy fast path, request
+  tracing, JSON-lines access log, Prometheus ``/metrics``);
 * ``loadgen``  — deterministic open-loop load generation against a
-  server (or ``--self-serve``); writes ``BENCH_serve.json``.
+  server (or ``--self-serve``); writes ``BENCH_serve.json``;
+* ``perfwatch`` — diff ``BENCH_*.json`` artifacts against the
+  committed performance baseline; exit 1 on regression.
 
 Every command accepts ``--telemetry-dir DIR``: the run then executes
 inside a :class:`repro.obs.export.TelemetrySession` and leaves
@@ -386,17 +389,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _serve_config(args: argparse.Namespace, *, port: int):
     from .serve import ServeConfig
+    access_log = args.access_log
+    tdir = getattr(args, "telemetry_dir", None)
+    if access_log is None and tdir:
+        # telemetry on: the access log is a session artifact by default
+        from pathlib import Path
+        access_log = str(Path(tdir) / "access.jsonl")
     return ServeConfig(
         host=args.host, port=port, workers=args.workers,
         cache_dir=args.cache_dir, window_ms=args.window_ms,
         max_inflight=args.max_inflight, rate_per_s=args.rate_limit,
         drain_timeout_s=args.drain_timeout,
-        warm_fast_path=args.warm)
+        warm_fast_path=args.warm,
+        access_log=access_log or None,
+        slo_target_p99_ms=args.slo_p99_ms)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import run_server
     return run_server(_serve_config(args, port=args.port))
+
+
+def _cmd_perfwatch(args: argparse.Namespace) -> int:
+    from .exec.perfwatch import run_perfwatch
+    return run_perfwatch(args.bench_dir, args.baseline,
+                         tolerance=args.tolerance,
+                         update_baseline=args.update_baseline)
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -413,7 +431,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         report = run_loadgen(LoadgenConfig(
             seed=args.seed, requests=args.requests,
             rate_per_s=args.rate, host=host, port=port,
-            timeout_s=args.timeout, deadline_ms=args.deadline_ms))
+            timeout_s=args.timeout, deadline_ms=args.deadline_ms,
+            slo_p99_ms=args.slo_p99_ms))
     finally:
         if handle is not None:
             clean = handle.stop()
@@ -432,6 +451,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(f"latency p50 {lat['p50'] * 1000:.1f} ms, "
           f"p95 {lat['p95'] * 1000:.1f} ms, "
           f"p99 {lat['p99'] * 1000:.1f} ms")
+    slo = report.get("slo") or {}
+    if slo:
+        verdict = "met" if slo.get("p99_ok") else "MISSED"
+        print(f"slo: p99 target {slo['target_p99_ms']:.0f} ms "
+              f"{verdict} (error rate {slo['error_rate']:.1%}, "
+              f"degraded rate {slo['degraded_rate']:.1%})")
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     return 0
@@ -602,16 +627,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve_opts.add_argument("--warm", action="store_true",
                             help="fit the power-proxy fast path before "
                                  "accepting traffic")
+    serve_opts.add_argument("--access-log", default=None,
+                            metavar="FILE",
+                            help="JSON-lines access log (default: "
+                                 "<telemetry-dir>/access.jsonl when "
+                                 "telemetry is on, else off; '' "
+                                 "disables)")
+    serve_opts.add_argument("--slo-p99-ms", type=float, default=2000.0,
+                            metavar="MS",
+                            help="p99 latency SLO target "
+                                 "(default 2000 ms)")
 
     p = sub.add_parser(
-        "serve", parents=[serve_opts],
+        "serve", parents=[telemetry, serve_opts],
         help="long-lived JSON-over-HTTP simulation service")
     p.add_argument("--port", type=int, default=8419,
                    help="listen port; 0 = ephemeral (default 8419)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
-        "loadgen", parents=[serve_opts],
+        "loadgen", parents=[telemetry, serve_opts],
         help="deterministic open-loop load generator; writes "
              "BENCH_serve.json")
     p.add_argument("--port", type=int, default=8419,
@@ -636,6 +671,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="also print the full report to stdout")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "perfwatch",
+        help="diff BENCH_*.json artifacts against the committed "
+             "performance baseline; exit 1 on regression")
+    p.add_argument("--bench-dir", default=".", metavar="DIR",
+                   help="directory holding BENCH_*.json (default .)")
+    p.add_argument("--baseline",
+                   default="benchmarks/perf-baseline.json",
+                   metavar="FILE",
+                   help="baseline file (default "
+                        "benchmarks/perf-baseline.json)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   metavar="FRAC",
+                   help="override every tolerance with this "
+                        "fractional slowdown budget (e.g. 0.25)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current "
+                        "artifacts instead of comparing")
+    p.set_defaults(func=_cmd_perfwatch)
 
     p = sub.add_parser(
         "lint",

@@ -39,7 +39,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.config import CoreConfig
 from ..core.pipeline import SimResult, simulate
 from ..errors import ExecError
+from ..obs.context import request_scope
 from ..obs.metrics import get_registry
+from ..obs.tracing import Tracer, get_tracer, set_tracer
 from ..obs.tracing import span as _obs_span
 from .cache import (ResultCache, fingerprint_config, fingerprint_trace,
                     resolve_cache, sim_result_from_json,
@@ -55,11 +57,18 @@ class ExecTask:
     ``key`` is the content-addressed fingerprint of ``payload`` (plus
     the code salt), so equal keys imply equal results; ``payload`` must
     be picklable for the process-pool path.
+
+    ``tags`` carries observability context only — the first tag is the
+    originating request id, adopted by whichever process executes the
+    task so its spans land on that request's trace track.  Tags are
+    deliberately *excluded* from ``key``: two requests asking for the
+    same work share one cache entry and one single-flight execution.
     """
 
     kind: str
     key: str
     payload: object
+    tags: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -126,24 +135,49 @@ def _execute_task(task: ExecTask) -> Dict[str, object]:
     runner = _TASK_RUNNERS.get(task.kind)
     if runner is None:
         raise ExecError(f"unknown task kind {task.kind!r}")
+    if task.tags:
+        # adopt the originating request's id so spans recorded inside
+        # the runner attach to its trace track
+        with request_scope(task.tags[0]):
+            return runner(task.payload)
     return runner(task.payload)
+
+
+def _execute_task_traced(task: ExecTask,
+                         ) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Pool-path variant when telemetry is on: run the task under a
+    fresh in-worker tracer and ship the spans home as wire dicts.
+
+    The worker may have inherited (via fork) a copy of the parent's
+    enabled tracer, but spans recorded into that copy die with the
+    worker — hence the explicit collect-and-return.
+    """
+    tracer = Tracer(enabled=True)
+    prev = set_tracer(tracer)
+    try:
+        payload = _execute_task(task)
+    finally:
+        set_tracer(prev)
+    return payload, tracer.to_wire()
 
 
 # ---- task builders -------------------------------------------------------
 
 def sim_task(config: CoreConfig, trace, *,
              warmup_fraction: float = 0.0,
-             max_instructions: Optional[int] = None) -> ExecTask:
+             max_instructions: Optional[int] = None,
+             tags: Tuple[str, ...] = ()) -> ExecTask:
     """A timing-model run as a pure task."""
     params = {"warmup_fraction": warmup_fraction,
               "max_instructions": max_instructions}
     key = task_fingerprint("sim", fingerprint_config(config),
                            fingerprint_trace(trace), params)
     return ExecTask(kind="sim", key=key,
-                    payload=(config, trace, params))
+                    payload=(config, trace, params), tags=tuple(tags))
 
 
-def campaign_task(config, index: int) -> ExecTask:
+def campaign_task(config, index: int, *,
+                  tags: Tuple[str, ...] = ()) -> ExecTask:
     """One fault-injection campaign run as a pure task.
 
     Purity holds because :meth:`CampaignConfig.run_seed` derives the
@@ -151,7 +185,7 @@ def campaign_task(config, index: int) -> ExecTask:
     """
     key = task_fingerprint("campaign", config.fingerprint(), int(index))
     return ExecTask(kind="campaign", key=key,
-                    payload=(config, int(index)))
+                    payload=(config, int(index)), tags=tuple(tags))
 
 
 # ---- the engine ----------------------------------------------------------
@@ -223,8 +257,15 @@ class Engine:
         self.close()
         return False
 
-    def run(self, plan) -> List[Dict[str, object]]:
-        """Execute every task; returns JSON payloads in plan order."""
+    def run(self, plan,
+            sources: Optional[Dict[str, str]] = None,
+            ) -> List[Dict[str, object]]:
+        """Execute every task; returns JSON payloads in plan order.
+
+        When ``sources`` (a dict) is supplied, it is filled with
+        ``task.key -> "cache" | "executed"`` so callers can attribute
+        each answer without re-deriving cache state.
+        """
         tasks: List[ExecTask] = list(
             plan.tasks if isinstance(plan, ExecPlan) else plan)
         for task in tasks:
@@ -247,6 +288,8 @@ class Engine:
                 if cached is not None:
                     by_key[task.key] = cached
                     counter.inc(kind=task.kind, source="cache")
+                    if sources is not None:
+                        sources[task.key] = "cache"
                 else:
                     pending_keys[task.key] = i
                     pending.append((i, task))
@@ -257,6 +300,8 @@ class Engine:
                 if self.cache is not None:
                     self.cache.put(task.key, payload)
                 counter.inc(kind=task.kind, source="executed")
+                if sources is not None:
+                    sources[task.key] = "executed"
             results = [by_key[task.key] for task in tasks]
             sp.set(executed=len(pending),
                    cached=len(tasks) - len(pending))
@@ -276,15 +321,24 @@ class Engine:
                 out[i] = _execute_task(task)
             return out
         errors: Dict[int, BaseException] = {}
+        tracer = get_tracer()
+        traced = tracer.enabled
+        run_one = _execute_task_traced if traced else _execute_task
         pool = self._ensure_pool()
-        futures = {pool.submit(_execute_task, task): i
+        futures = {pool.submit(run_one, task): i
                    for i, task in pending}
         for fut in concurrent.futures.as_completed(futures):
             i = futures[fut]
             try:
-                out[i] = fut.result()
+                result = fut.result()
             except BaseException as exc:   # noqa: BLE001 - reraised
                 errors[i] = exc
+                continue
+            if traced:
+                out[i], wire = result
+                tracer.merge_wire(wire, origin="worker")
+            else:
+                out[i] = result
         if errors:
             # deterministic propagation: the failure of the
             # earliest-indexed task wins, whatever finished first

@@ -11,7 +11,13 @@ windowed captures).  Four pieces:
   ``trace_event`` JSON (Perfetto-loadable);
 * :mod:`repro.obs.sampler` — cycle-interval activity/proxy sampling of
   simulator runs (Fig. 15-style time series);
-* :mod:`repro.obs.export` — JSON/CSV exporters plus per-run manifests.
+* :mod:`repro.obs.export` — JSON/CSV exporters plus per-run manifests;
+* :mod:`repro.obs.context` — request-scoped context (ids + latency
+  segments) propagated via ``contextvars`` and explicit task tags;
+* :mod:`repro.obs.prometheus` — text exposition of the registry for
+  stock Prometheus scrapers;
+* :mod:`repro.obs.requestlog` — JSON-lines access log for the serve
+  stack.
 """
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -19,7 +25,12 @@ from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
 from .tracing import Span, Tracer, get_tracer, set_tracer, span
 from .sampler import CycleIntervalSampler, IntervalSample, proxy_series
 from .export import (TelemetrySession, config_fingerprint,
-                     samples_to_csv, write_json)
+                     samples_to_csv, validate_manifest, write_json)
+from .context import (RequestContext, clean_request_id, current_request,
+                      current_request_id, new_request_id, request_scope)
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prometheus import render_prometheus
+from .requestlog import AccessLog, open_access_log, read_access_log
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -27,5 +38,9 @@ __all__ = [
     "Span", "Tracer", "get_tracer", "set_tracer", "span",
     "CycleIntervalSampler", "IntervalSample", "proxy_series",
     "TelemetrySession", "config_fingerprint", "samples_to_csv",
-    "write_json",
+    "validate_manifest", "write_json",
+    "RequestContext", "clean_request_id", "current_request",
+    "current_request_id", "new_request_id", "request_scope",
+    "PROMETHEUS_CONTENT_TYPE", "render_prometheus",
+    "AccessLog", "open_access_log", "read_access_log",
 ]

@@ -36,6 +36,51 @@ from .tracing import Tracer, set_tracer
 
 MANIFEST_SCHEMA = 1
 
+# manifest keys every schema-1 producer must write, with the type a
+# validator may rely on (None = any JSON value)
+_MANIFEST_REQUIRED = {
+    "schema": int,
+    "package": str,
+    "version": str,
+    "python": str,
+    "platform": str,
+    "argv": list,
+    "interval_cycles": int,
+    "configs": dict,
+    "runs": list,
+    "samples": int,
+    "spans": int,
+    "timings": dict,
+}
+
+
+def validate_manifest(manifest: Dict[str, object]) -> None:
+    """Raise :class:`TelemetryError` unless ``manifest`` is a valid
+    schema-``MANIFEST_SCHEMA`` document (required keys present and
+    correctly typed; run entries carry config provenance)."""
+    if not isinstance(manifest, dict):
+        raise TelemetryError("manifest must be a JSON object")
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise TelemetryError(
+            f"unsupported manifest schema {schema!r} "
+            f"(expected {MANIFEST_SCHEMA})")
+    for key, kind in _MANIFEST_REQUIRED.items():
+        if key not in manifest:
+            raise TelemetryError(f"manifest missing required key {key!r}")
+        if kind is not None and not isinstance(manifest[key], kind):
+            raise TelemetryError(
+                f"manifest key {key!r} must be {kind.__name__}, got "
+                f"{type(manifest[key]).__name__}")
+    for i, run in enumerate(manifest["runs"]):
+        if not isinstance(run, dict) or "config" not in run \
+                or "config_sha256" not in run:
+            raise TelemetryError(
+                f"manifest run entry {i} lacks config provenance")
+    timings = manifest["timings"]
+    if "elapsed_seconds" not in timings:
+        raise TelemetryError("manifest timings lack elapsed_seconds")
+
 
 def config_fingerprint(config) -> str:
     """Stable short hash of a (dataclass) configuration."""

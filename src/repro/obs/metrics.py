@@ -51,7 +51,14 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "repro_serve_shed_total": "counter",
     "repro_serve_inflight": "gauge",
     "repro_serve_proxy_estimates_total": "counter",
+    "repro_serve_request_stage_seconds": "histogram",
+    "repro_serve_slo_breaches_total": "counter",
 }
+
+# Quantiles reported in every histogram snapshot (and scraped by the
+# SLO tooling).  Estimated from the bucket counts, so accuracy is
+# bucket-resolution-bound — fine for dashboards, not for billing.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
 
 
 def _label_key(labels: Dict[str, object]) -> _LabelKey:
@@ -170,6 +177,37 @@ class Histogram(_Metric):
         series.min = min(series.min, value)
         series.max = max(series.max, value)
 
+    def _quantile(self, series: "_HistogramSeries", q: float) -> float:
+        """Bucket-interpolated quantile estimate, clamped to the
+        observed [min, max] so tiny samples don't report a bucket
+        bound nothing ever reached."""
+        if not series.count:
+            return 0.0
+        rank = q * series.count
+        seen = 0.0
+        lower = 0.0
+        for i, n in enumerate(series.bucket_counts):
+            if n == 0:
+                continue
+            upper = self.buckets[i] if i < len(self.buckets) \
+                else series.max
+            if seen + n >= rank:
+                frac = (rank - seen) / n
+                est = lower + (upper - lower) * frac
+                return min(max(est, series.min), series.max)
+            seen += n
+            lower = upper
+        return series.max
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimated ``q``-quantile (0 < q < 1) for one label set."""
+        if not 0.0 < q < 1.0:
+            raise TelemetryError(f"quantile must be in (0, 1), got {q}")
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return 0.0
+        return self._quantile(series, q)
+
     def summary(self, **labels: object) -> Dict[str, float]:
         series = self._series.get(_label_key(labels))
         if series is None or not series.count:
@@ -192,6 +230,9 @@ class Histogram(_Metric):
                     {"le": bound, "count": n} for bound, n in
                     zip(list(self.buckets) + ["+Inf"],
                         series.bucket_counts)],
+                "quantiles": {
+                    f"p{int(q * 100)}": self._quantile(series, q)
+                    for q in SNAPSHOT_QUANTILES},
             })
         return out
 

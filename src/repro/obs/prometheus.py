@@ -1,0 +1,78 @@
+"""Prometheus text exposition (format 0.0.4) for a MetricsRegistry.
+
+The registry's JSON snapshot is the repo-native format; this module
+renders the same data the way a stock Prometheus scraper expects, so
+``GET /metrics`` with ``Accept: text/plain`` plugs straight into a
+standard scrape config.  Differences the renderer papers over:
+
+* registry histogram buckets are per-bucket counts; Prometheus
+  ``_bucket`` series are cumulative and always end with ``le="+Inf"``;
+* label values need the exposition-format escaping (backslash, double
+  quote, newline);
+* snapshot-only fields (``min``/``max``/``quantiles``) have no place in
+  the classic histogram exposition and are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_ESCAPES = (("\\", "\\\\"), ('"', '\\"'), ("\n", "\\n"))
+
+
+def _escape(value: str) -> str:
+    for raw, cooked in _ESCAPES:
+        value = value.replace(raw, cooked)
+    return value
+
+
+def _labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(str(v))}"'
+             for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    f = float(value)
+    return repr(int(f)) if f.is_integer() else repr(f)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (one trailing \\n)."""
+    lines: List[str] = []
+    snapshot = registry.collect()
+    for name, doc in snapshot.items():
+        kind = doc["kind"]
+        if doc["description"]:
+            lines.append(f"# HELP {name} {_escape(doc['description'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in doc["series"]:
+            labels = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_labels(labels)} {_num(series['value'])}")
+            elif kind == "histogram":
+                cumulative = 0
+                for bucket in series["buckets"]:
+                    cumulative += bucket["count"]
+                    le = bucket["le"]
+                    le_str = "+Inf" if le == "+Inf" else _num(float(le))
+                    le_label = 'le="' + le_str + '"'
+                    lines.append(
+                        f"{name}_bucket{_labels(labels, le_label)} "
+                        f"{cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels(labels)} {_num(series['sum'])}")
+                lines.append(
+                    f"{name}_count{_labels(labels)} {series['count']}")
+    return "\n".join(lines) + "\n" if lines else "\n"

@@ -13,6 +13,22 @@ routes through the *current* tracer.  The default tracer is disabled:
 spans still measure their own duration (so call sites can read
 ``sp.duration_s``, e.g. APEX's ``elapsed_seconds``) but nothing is
 retained, keeping the overhead to two clock reads per span.
+
+Tracks.  Perfetto groups events by ``tid``; raw ``threading.get_ident``
+values are recycled by the OS, so two short-lived threads (the serve
+asyncio thread and a ``start_in_thread`` harness, say) could collapse
+into one interleaved track.  The tracer therefore assigns each *thread
+object* a stable track label (``<name>#<seq>``) the first time it
+records, and the export emits ``thread_name`` metadata so the Perfetto
+UI shows real names.  While a request context (:mod:`repro.obs.context`)
+is active, spans instead land on a per-request track (``req:<id>``) and
+carry the request id in their args — one row per served request.
+
+Cross-process spans.  ``perf_counter_ns`` epochs are per-process, so a
+worker cannot ship raw timestamps.  :meth:`Tracer.to_wire` converts
+spans to wall-clock-anchored dicts and :meth:`Tracer.merge_wire` maps
+them into the parent's clock via both tracers' (wall, perf) epoch pairs
+— alignment error is the clock-read jitter, microseconds at worst.
 """
 
 from __future__ import annotations
@@ -22,17 +38,22 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from .context import current_request_id
+
+_REQUEST_ARG = "request_id"
+
 
 class Span:
     """One timed region.  ``duration_s`` is valid after the ``with``
     block exits (and reads as time-so-far while still open)."""
 
     __slots__ = ("name", "category", "args", "start_ns", "end_ns",
-                 "depth", "tid")
+                 "depth", "tid", "track")
 
     def __init__(self, name: str, category: str,
                  args: Optional[Dict[str, object]] = None,
-                 depth: int = 0, tid: int = 0):
+                 depth: int = 0, tid: int = 0,
+                 track: Optional[str] = None):
         self.name = name
         self.category = category
         self.args: Dict[str, object] = args if args is not None else {}
@@ -40,6 +61,7 @@ class Span:
         self.end_ns: Optional[int] = None
         self.depth = depth
         self.tid = tid
+        self.track = track
 
     def set(self, **args: object) -> None:
         """Attach result attributes (shown in the trace viewer)."""
@@ -69,12 +91,32 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._epoch_ns = time.perf_counter_ns()
+        self._wall_epoch_ns = time.time_ns()
+        self._track_seq = 0
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def _thread_track(self) -> str:
+        """Stable per-thread-object track label (ident values are
+        recycled; labels are not)."""
+        label = getattr(self._local, "track", None)
+        if label is None:
+            with self._lock:
+                self._track_seq += 1
+                seq = self._track_seq
+            name = threading.current_thread().name
+            label = self._local.track = f"{name}#{seq}"
+        return label
+
+    def _pick_track(self) -> str:
+        rid = current_request_id()
+        if rid is not None:
+            return f"req:{rid}"
+        return self._thread_track()
 
     @contextmanager
     def span(self, name: str, category: str = "repro",
@@ -87,8 +129,15 @@ class Tracer:
                 sp.end_ns = time.perf_counter_ns()
             return
         stack = self._stack()
+        rid = current_request_id()
+        if rid is not None:
+            args.setdefault(_REQUEST_ARG, rid)
+            track: str = f"req:{rid}"
+        else:
+            track = self._thread_track()
         sp = Span(name, category, dict(args) or None,
-                  depth=len(stack), tid=threading.get_ident())
+                  depth=len(stack), tid=threading.get_ident(),
+                  track=track)
         stack.append(sp)
         try:
             yield sp
@@ -97,6 +146,30 @@ class Tracer:
             stack.pop()
             with self._lock:
                 self._spans.append(sp)
+
+    def record_complete(self, name: str, category: str = "repro", *,
+                        start_ns: int, dur_ns: int,
+                        args: Optional[Dict[str, object]] = None,
+                        track: Optional[str] = None,
+                        depth: int = 0) -> Optional[Span]:
+        """Record an already-measured region (``ph: "X"`` semantics).
+
+        ``start_ns`` is this process's ``perf_counter_ns`` value at the
+        region's start — used by call sites that reconstruct segments
+        after the fact (the per-request queue/batch/exec tiles).
+        """
+        if not self.enabled:
+            return None
+        sp = Span(name, category,
+                  dict(args) if args else None,
+                  depth=depth, tid=threading.get_ident(),
+                  track=track if track is not None
+                  else self._pick_track())
+        sp.start_ns = start_ns
+        sp.end_ns = start_ns + max(0, dur_ns)
+        with self._lock:
+            self._spans.append(sp)
+        return sp
 
     @property
     def spans(self) -> List[Span]:
@@ -108,16 +181,72 @@ class Tracer:
         with self._lock:
             self._spans.clear()
 
+    # ---- cross-process transport -------------------------------------
+
+    def to_wire(self) -> List[Dict[str, object]]:
+        """Spans as wall-clock-anchored dicts, safe to pickle across a
+        process boundary (``perf_counter_ns`` epochs are not)."""
+        wall_now = time.time_ns()
+        perf_now = time.perf_counter_ns()
+        out: List[Dict[str, object]] = []
+        for sp in self.spans:
+            end = sp.end_ns if sp.end_ns is not None else perf_now
+            out.append({
+                "name": sp.name,
+                "cat": sp.category,
+                "wall_start_ns": wall_now - (perf_now - sp.start_ns),
+                "dur_ns": end - sp.start_ns,
+                "depth": sp.depth,
+                "track": sp.track,
+                "args": dict(sp.args),
+            })
+        return out
+
+    def merge_wire(self, wire: List[Dict[str, object]], *,
+                   origin: str = "worker") -> int:
+        """Adopt spans exported by :meth:`to_wire` in another process.
+
+        Request-track spans (``req:*``) keep their track so a worker's
+        execution lands on the requesting request's Perfetto row; other
+        tracks are prefixed with ``origin`` to keep processes distinct.
+        Returns the number of spans merged.
+        """
+        if not self.enabled:
+            return 0
+        merged = []
+        for entry in wire:
+            start_ns = self._epoch_ns + (int(entry["wall_start_ns"])
+                                         - self._wall_epoch_ns)
+            track = entry.get("track") or origin
+            if not str(track).startswith("req:"):
+                track = f"{origin}:{track}"
+            sp = Span(str(entry["name"]), str(entry["cat"]),
+                      dict(entry.get("args") or {}),
+                      depth=int(entry.get("depth", 0)),
+                      tid=0, track=str(track))
+            sp.start_ns = start_ns
+            sp.end_ns = start_ns + int(entry["dur_ns"])
+            merged.append(sp)
+        with self._lock:
+            self._spans.extend(merged)
+        return len(merged)
+
+    # ---- export -------------------------------------------------------
+
     def to_chrome_trace(self) -> Dict[str, object]:
         """The ``{"traceEvents": [...]}`` document Perfetto loads.
 
-        Spans become ``ph: "X"`` (complete) events; timestamps are
-        microseconds relative to tracer creation.
+        Spans become ``ph: "X"`` (complete) events grouped by track
+        label; ``thread_name`` metadata events (``ph: "M"``) give each
+        track its human-readable name.  Timestamps are microseconds
+        relative to tracer creation.
         """
         events: List[Dict[str, object]] = []
-        tid_alias: Dict[int, int] = {}
+        tid_alias: Dict[str, int] = {}
         for sp in sorted(self.spans, key=lambda s: s.start_ns):
-            tid = tid_alias.setdefault(sp.tid, len(tid_alias) + 1)
+            label = sp.track if sp.track is not None \
+                else f"thread-{sp.tid}"
+            tid = tid_alias.setdefault(label, len(tid_alias) + 1)
             event: Dict[str, object] = {
                 "name": sp.name,
                 "cat": sp.category,
@@ -130,7 +259,11 @@ class Tracer:
             if sp.args:
                 event["args"] = dict(sp.args)
             events.append(event)
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        meta = [{"name": "thread_name", "ph": "M", "pid": 1,
+                 "tid": tid, "args": {"name": label}}
+                for label, tid in sorted(tid_alias.items(),
+                                         key=lambda kv: kv[1])]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 _default_tracer = Tracer(enabled=False)

@@ -25,6 +25,7 @@ from .protocol import (CompareRequest, EstimateRequest, InjectRequest,
                        ok_body)
 from .server import (ReproServer, ServeConfig, ServerHandle,
                      run_server, start_in_thread)
+from .slo import SloTracker
 
 __all__ = [
     "AdmissionController", "Decision", "ProxyFastPath", "TokenBucket",
@@ -34,5 +35,5 @@ __all__ = [
     "CompareRequest", "EstimateRequest", "InjectRequest",
     "SimulateRequest", "error_body", "error_status", "ok_body",
     "ReproServer", "ServeConfig", "ServerHandle", "run_server",
-    "start_in_thread",
+    "start_in_thread", "SloTracker",
 ]

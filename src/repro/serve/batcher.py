@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import functools
+import time
 from typing import Dict, List, Optional
 
 from ..errors import DrainingError, ServeError
 from ..exec.executor import Engine, ExecPlan, ExecTask
+from ..obs.context import current_request
 from ..obs.metrics import get_registry
 
 
@@ -92,9 +95,22 @@ class MicroBatcher:
                 "repro_serve_singleflight_joins_total",
                 "requests served by joining an identical in-flight "
                 "computation").inc(kind=task.kind)
-        # shield: one waiter hitting its deadline must not cancel the
-        # computation other waiters (or the cache) still want
-        return await asyncio.shield(fut)
+        submit_ns = time.perf_counter_ns()
+        try:
+            # shield: one waiter hitting its deadline must not cancel
+            # the computation other waiters (or the cache) still want
+            return await asyncio.shield(fut)
+        finally:
+            ctx = current_request()
+            if ctx is not None:
+                # _run_batch stamps (batch_start_ns, source) before it
+                # settles the future; joiners read the same stamp
+                meta = getattr(fut, "_repro_meta", None)
+                ctx.note_result(
+                    submit_ns,
+                    meta[0] if meta else None,
+                    time.perf_counter_ns(),
+                    meta[1] if meta else None)
 
     async def _run_loop(self) -> None:
         while True:
@@ -118,9 +134,13 @@ class MicroBatcher:
             "tasks per micro-batch (after single-flight dedupe)",
             ).observe(float(len(batch)))
         loop = asyncio.get_running_loop()
+        batch_start_ns = time.perf_counter_ns()
+        sources: Dict[str, str] = {}
         try:
             results = await loop.run_in_executor(
-                self._thread, self.engine.run, ExecPlan(list(batch)))
+                self._thread,
+                functools.partial(self.engine.run,
+                                  ExecPlan(list(batch)), sources))
         except asyncio.CancelledError:
             # drain cancelled the runner mid-batch: leave the waiter
             # futures pending — drain() settles them with DrainingError
@@ -134,11 +154,14 @@ class MicroBatcher:
             for task in batch:
                 fut = self._inflight.pop(task.key, None)
                 if fut is not None and not fut.done():
+                    fut._repro_meta = (batch_start_ns, None)
                     fut.set_exception(exc)
         else:
             for task, result in zip(batch, results):
                 fut = self._inflight.pop(task.key, None)
                 if fut is not None and not fut.done():
+                    fut._repro_meta = (batch_start_ns,
+                                       sources.get(task.key))
                     fut.set_result(result)
 
     async def drain(self, timeout_s: float = 5.0) -> bool:

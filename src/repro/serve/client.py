@@ -44,6 +44,9 @@ class ServeResponse:
     body: Dict[str, object]
     latency_s: float
     attempts: int = 1
+    #: the server-confirmed request id (``X-Request-Id`` echo); kept
+    #: out of ``body`` so identical requests stay byte-identical
+    request_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -79,34 +82,44 @@ class ServeClient:
 
     # ---- transport ---------------------------------------------------
 
-    def _once(self, method: str, path: str,
-              payload: Optional[Dict]) -> ServeResponse:
+    def _once(self, method: str, path: str, payload: Optional[Dict],
+              request_id: Optional[str] = None) -> ServeResponse:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else b"")
+        headers = {"Content-Type": "application/json",
+                   "Connection": "close"}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s)
         started = time.monotonic()
         try:
-            conn.request(method, path, body=body,
-                         headers={"Content-Type": "application/json",
-                                  "Connection": "close"})
+            conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
             status = response.status
             retry_after = response.getheader("Retry-After")
+            rid_echo = response.getheader("X-Request-Id")
+            ctype = response.getheader("Content-Type") or ""
         finally:
             conn.close()
         latency = time.monotonic() - started
-        try:
-            doc = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServeError(
-                f"malformed response body (status {status}): "
-                f"{raw[:120]!r}") from exc
+        if ctype.startswith("text/plain"):
+            # Prometheus exposition: wrap the text so callers get a
+            # uniform ServeResponse
+            doc: Dict[str, object] = {"text": raw.decode("utf-8")}
+        else:
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(
+                    f"malformed response body (status {status}): "
+                    f"{raw[:120]!r}") from exc
         if retry_after is not None:
             doc = dict(doc)
             doc["_retry_after_s"] = float(retry_after)
-        return ServeResponse(status=status, body=doc, latency_s=latency)
+        return ServeResponse(status=status, body=doc, latency_s=latency,
+                             request_id=rid_echo)
 
     def _backoff_s(self, attempt: int, hint: Optional[float]) -> float:
         base = min(self.backoff_cap_s,
@@ -117,21 +130,28 @@ class ServeClient:
         return delay
 
     def request(self, path: str, payload: Optional[Dict] = None, *,
-                method: str = "POST") -> ServeResponse:
-        """One logical request, with retries on 503/connection errors."""
+                method: str = "POST",
+                request_id: Optional[str] = None) -> ServeResponse:
+        """One logical request, with retries on 503/connection errors.
+
+        ``request_id`` is sent as ``X-Request-Id`` so client-side logs
+        correlate with the server's trace and access log; every retry
+        reuses the same id (it names the logical request).
+        """
         last_exc: Optional[Exception] = None
         last_resp: Optional[ServeResponse] = None
         for attempt in range(self.retries + 1):
             hint = None
             try:
-                resp = self._once(method, path, payload)
+                resp = self._once(method, path, payload, request_id)
             except (ConnectionError, socket.timeout, OSError) as exc:
                 last_exc, last_resp = exc, None
             else:
                 if resp.status not in _RETRYABLE_STATUSES:
                     return ServeResponse(resp.status, resp.body,
                                          resp.latency_s,
-                                         attempts=attempt + 1)
+                                         attempts=attempt + 1,
+                                         request_id=resp.request_id)
                 last_exc, last_resp = None, resp
                 hint = resp.body.get("_retry_after_s")
             if attempt < self.retries:
@@ -139,7 +159,8 @@ class ServeClient:
         if last_resp is not None:
             return ServeResponse(last_resp.status, last_resp.body,
                                  last_resp.latency_s,
-                                 attempts=self.retries + 1)
+                                 attempts=self.retries + 1,
+                                 request_id=last_resp.request_id)
         raise ServeError(
             f"request to {path} failed after {self.retries + 1} "
             f"attempts: {last_exc}") from last_exc

@@ -9,11 +9,28 @@ observable — a closed loop would just slow down instead of shedding),
 from a thread pool sized generously above the concurrency the schedule
 can reach.
 
-The report carries throughput, latency percentiles (p50/p95/p99,
-nearest-rank), and outcome counts (ok / degraded / error / malformed);
-``repro loadgen`` writes it to ``BENCH_serve.json`` next to the other
-``BENCH_*.json`` artifacts so the golden harness's tooling can track
-service latency the way it tracks model numbers.
+Every scheduled request carries a deterministic id
+(``req-s<seed>-<index>``) sent as ``X-Request-Id``, so the loadgen's
+per-request rows, the server's access log, and the Perfetto trace all
+correlate on the same key.
+
+The report (``BENCH_serve.json``, schema 2) carries:
+
+* top level: throughput, latency percentiles (p50/p95/p99,
+  nearest-rank), outcome counts (ok / degraded / error / malformed);
+* ``endpoints``: the same breakdown per route, with a
+  ``degraded_rate`` column;
+* ``slo``: the run judged against a latency target (default p99 ≤
+  ``slo_p99_ms``), plus the server's own rolling-window verdict
+  scraped from ``/healthz`` when reachable;
+* ``per_request``: one row per scheduled request (id, route, offset,
+  latency, outcome) for trace/access-log correlation;
+* ``by_route``: legacy schema-1 request counts (kept for tooling
+  compatibility).
+
+``repro loadgen`` writes it next to the other ``BENCH_*.json``
+artifacts so ``repro perfwatch`` can track service latency the way it
+tracks model numbers.
 """
 
 from __future__ import annotations
@@ -52,6 +69,7 @@ class LoadgenConfig:
     port: int = 8419
     timeout_s: float = 60.0
     deadline_ms: Optional[int] = None
+    slo_p99_ms: float = 2000.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -63,8 +81,9 @@ class LoadgenConfig:
 
 
 def build_schedule(config: LoadgenConfig,
-                   ) -> List[Tuple[float, str, Dict[str, object]]]:
-    """``(start_offset_s, route, payload)`` triples, seed-deterministic."""
+                   ) -> List[Tuple[float, str, Dict[str, object], str]]:
+    """``(start_offset_s, route, payload, request_id)`` tuples,
+    seed-deterministic (ids included: ``req-s<seed>-<index>``)."""
     rng = np.random.default_rng(config.seed)
     routes = [r for r, _w in _MIX]
     weights = np.array([w for _r, w in _MIX])
@@ -72,7 +91,7 @@ def build_schedule(config: LoadgenConfig,
     gaps = rng.exponential(1.0 / config.rate_per_s,
                            size=config.requests)
     offsets = np.cumsum(gaps)
-    schedule: List[Tuple[float, str, Dict[str, object]]] = []
+    schedule: List[Tuple[float, str, Dict[str, object], str]] = []
     for i in range(config.requests):
         route = routes[int(rng.choice(len(routes), p=weights))]
         workload = _WORKLOADS[int(rng.integers(len(_WORKLOADS)))]
@@ -88,7 +107,8 @@ def build_schedule(config: LoadgenConfig,
         if config.deadline_ms is not None \
                 and route != "/v1/estimate":
             payload["deadline_ms"] = config.deadline_ms
-        schedule.append((float(offsets[i]), route, payload))
+        rid = f"req-s{config.seed}-{i:05d}"
+        schedule.append((float(offsets[i]), route, payload, rid))
     return schedule
 
 
@@ -108,12 +128,13 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
                          timeout_s=config.timeout_s, retries=0)
 
     def _fire(offset_s: float, route: str,
-              payload: Dict[str, object], start: float):
+              payload: Dict[str, object], rid: str, start: float):
         delay = start + offset_s - time.monotonic()
         if delay > 0:
             time.sleep(delay)
         try:
-            return client.request(route, payload), None
+            return client.request(route, payload,
+                                  request_id=rid), None
         except ServeError as exc:        # connection failure / bad body
             return None, str(exc)
 
@@ -123,49 +144,108 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
     with concurrent.futures.ThreadPoolExecutor(
             max_workers=max_workers,
             thread_name_prefix="repro-loadgen") as pool:
-        futures = [pool.submit(_fire, offset, route, payload, started)
-                   for offset, route, payload in schedule]
+        futures = [pool.submit(_fire, offset, route, payload, rid,
+                               started)
+                   for offset, route, payload, rid in schedule]
         for fut in futures:              # plan order, not completion
             outcomes.append(fut.result())
     elapsed_s = time.monotonic() - started
 
     latencies: List[float] = []
     ok = degraded = errors = malformed = 0
-    by_route: Dict[str, int] = {}
-    for (_offset, route, _payload), (resp, failure) in zip(schedule,
-                                                           outcomes):
-        by_route[route] = by_route.get(route, 0) + 1
+    per_route: Dict[str, Dict[str, object]] = {}
+    per_request: List[Dict[str, object]] = []
+    for (offset, route, _payload, rid), (resp, failure) in zip(
+            schedule, outcomes):
+        stats = per_route.setdefault(
+            route, {"count": 0, "ok": 0, "degraded": 0, "errors": 0,
+                    "malformed": 0, "latencies": []})
+        stats["count"] += 1
+        row: Dict[str, object] = {"id": rid, "route": route,
+                                  "offset_s": round(offset, 6)}
         if resp is None:
             malformed += 1
+            stats["malformed"] += 1
+            row["outcome"] = "malformed"
+            row["error"] = failure
+            per_request.append(row)
             continue
         latencies.append(resp.latency_s)
+        stats["latencies"].append(resp.latency_s)
+        row["latency_s"] = round(resp.latency_s, 6)
+        row["status"] = resp.status
         if resp.ok:
             ok += 1
+            stats["ok"] += 1
             if resp.degraded:
                 degraded += 1
+                stats["degraded"] += 1
+                row["outcome"] = "degraded"
+            else:
+                row["outcome"] = "ok"
         else:
             errors += 1
+            stats["errors"] += 1
+            row["outcome"] = "error"
+        per_request.append(row)
     latencies.sort()
+
+    def _latency_doc(values: List[float]) -> Dict[str, float]:
+        values = sorted(values)
+        return {
+            "p50": _percentile(values, 50.0),
+            "p95": _percentile(values, 95.0),
+            "p99": _percentile(values, 99.0),
+            "max": values[-1] if values else 0.0,
+            "mean": float(np.mean(values)) if values else 0.0,
+        }
+
+    endpoints = {}
+    for route in sorted(per_route):
+        stats = per_route[route]
+        n = stats["count"]
+        endpoints[route] = {
+            "count": n,
+            "ok": stats["ok"],
+            "degraded": stats["degraded"],
+            "errors": stats["errors"],
+            "malformed": stats["malformed"],
+            "degraded_rate": stats["degraded"] / n if n else 0.0,
+            "latency_s": _latency_doc(stats["latencies"]),
+        }
+
+    p99 = _percentile(latencies, 99.0)
+    answered = len(latencies)
+    slo: Dict[str, object] = {
+        "target_p99_ms": config.slo_p99_ms,
+        "p99_ms": p99 * 1e3,
+        "p99_ok": p99 * 1e3 <= config.slo_p99_ms,
+        "error_rate": (errors / answered) if answered else 0.0,
+        "degraded_rate": (degraded / answered) if answered else 0.0,
+    }
+    try:       # the server's own rolling-window verdict, best-effort
+        slo["server"] = client.healthz().get("slo")
+    except ServeError:
+        slo["server"] = None
+
     report = {
+        "schema": 2,
         "seed": config.seed,
         "requests": config.requests,
         "offered_rate_per_s": config.rate_per_s,
         "elapsed_s": elapsed_s,
-        "throughput_per_s": (len(latencies) / elapsed_s
+        "throughput_per_s": (answered / elapsed_s
                              if elapsed_s > 0 else 0.0),
         "ok": ok,
         "degraded": degraded,
         "errors": errors,
         "malformed": malformed,
-        "by_route": dict(sorted(by_route.items())),
-        "latency_s": {
-            "p50": _percentile(latencies, 50.0),
-            "p95": _percentile(latencies, 95.0),
-            "p99": _percentile(latencies, 99.0),
-            "max": latencies[-1] if latencies else 0.0,
-            "mean": (float(np.mean(latencies))
-                     if latencies else 0.0),
-        },
+        "by_route": {r: per_route[r]["count"]
+                     for r in sorted(per_route)},
+        "endpoints": endpoints,
+        "slo": slo,
+        "latency_s": _latency_doc(latencies),
+        "per_request": per_request,
     }
     return report
 

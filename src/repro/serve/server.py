@@ -40,13 +40,29 @@ from ..errors import (DeadlineError, DrainingError, OverloadError,
                       ServeError)
 from ..exec.cache import sim_result_from_json
 from ..exec.executor import Engine, campaign_task, sim_task
+from ..obs.context import (RequestContext, activate, clean_request_id,
+                           current_request_id, deactivate,
+                           new_request_id)
 from ..obs.metrics import get_registry
+from ..obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
+from ..obs.prometheus import render_prometheus
+from ..obs.requestlog import open_access_log
+from ..obs.tracing import get_tracer
+from ..obs.tracing import span as _obs_span
 from . import protocol
 from .admission import AdmissionController, ProxyFastPath, TokenBucket
 from .batcher import MicroBatcher
+from .slo import SloTracker
 
 MAX_BODY_BYTES = 1 << 20
 MAX_HEADERS = 100
+
+
+def _task_tags() -> Tuple[str, ...]:
+    """The active request's id as an engine-task tag (or nothing), so
+    spans the task produces — wherever it executes — carry the id."""
+    rid = current_request_id()
+    return (rid,) if rid is not None else ()
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
@@ -71,6 +87,10 @@ class ServeConfig:
     drain_timeout_s: float = 5.0
     calibration_instructions: int = 384
     warm_fast_path: bool = False
+    access_log: Optional[str] = None     # JSON-lines path; None = off
+    slo_window_s: float = 60.0
+    slo_target_p99_ms: float = 2000.0
+    slo_target_error_rate: float = 0.05
 
 
 class ReproServer:
@@ -83,6 +103,11 @@ class ReproServer:
         self.admission: Optional[AdmissionController] = None
         self.fastpath: Optional[ProxyFastPath] = None
         self.port: Optional[int] = None
+        self.slo = SloTracker(
+            window_s=self.config.slo_window_s,
+            target_p99_s=self.config.slo_target_p99_ms / 1000.0,
+            target_error_rate=self.config.slo_target_error_rate)
+        self._access_log = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._conn_tasks: set = set()
@@ -115,6 +140,7 @@ class ReproServer:
             calibration_instructions=cfg.calibration_instructions)
         if cfg.warm_fast_path:
             await asyncio.to_thread(self.fastpath.warm)
+        self._access_log = open_access_log(cfg.access_log)
         await self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_conn, cfg.host, cfg.port)
@@ -140,6 +166,8 @@ class ReproServer:
                     task.cancel()
         if self.engine is not None:
             self.engine.close(wait=clean)
+        if self._access_log is not None:
+            self._access_log.close()
         return clean
 
     # ---- shared helpers ----------------------------------------------
@@ -206,7 +234,8 @@ class ReproServer:
             trace = await asyncio.to_thread(
                 self._build_trace, req.workload, req.instructions)
             task = sim_task(self._configs[req.config], trace,
-                            warmup_fraction=req.warmup_fraction)
+                            warmup_fraction=req.warmup_fraction,
+                            tags=_task_tags())
             try:
                 payload = await asyncio.wait_for(
                     self.batcher.submit(task),
@@ -232,7 +261,7 @@ class ReproServer:
                                               req.instructions)
                       for w in req.workloads]
             generations = ("power9", "power10")
-            tasks = [sim_task(self._configs[g], t)
+            tasks = [sim_task(self._configs[g], t, tags=_task_tags())
                      for g in generations for t in traces]
             try:
                 payloads = await asyncio.wait_for(
@@ -314,7 +343,7 @@ class ReproServer:
                 seed=req.seed, runs=1, workload=req.workload,
                 instructions=req.instructions,
                 faults_per_run=req.faults, generation=req.config)
-            task = campaign_task(cconfig, 0)
+            task = campaign_task(cconfig, 0, tags=_task_tags())
             try:
                 payload = await asyncio.wait_for(
                     self.batcher.submit(task),
@@ -330,47 +359,125 @@ class ReproServer:
     # ---- HTTP plumbing ------------------------------------------------
 
     async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> Tuple[int, Dict, Dict[str, str]]:
+                        req_headers: Dict[str, str], body: bytes,
+                        ) -> Tuple[int, Dict, Dict[str, str]]:
         registry = get_registry()
-        started = time.monotonic()
-        headers: Dict[str, str] = {}
+        rid = clean_request_id(req_headers.get("x-request-id")) \
+            or new_request_id()
+        ctx = RequestContext(rid, route=path, method=method)
+        token = activate(ctx)
+        out_headers: Dict[str, str] = {}
         try:
-            if path == "/healthz":
-                status, doc = self._healthz(method)
-            elif path == "/metrics":
-                if method != "GET":
-                    raise ServeError("use GET for /metrics")
-                status, doc = 200, registry.collect()
-            else:
-                cls = protocol.REQUEST_TYPES.get(path)
-                if cls is None:
-                    status, doc = 404, {
-                        "ok": False,
-                        "error": {"code": "not_found",
-                                  "type": "ServeError",
-                                  "message": f"no route {path}"}}
-                elif method != "POST":
-                    raise ServeError(f"use POST for {path}")
-                elif self._draining:
-                    raise DrainingError("server is draining")
-                else:
-                    req = cls.from_json(protocol.decode_json(body))
-                    status, doc, headers = \
-                        await self._handlers[path](req)
-        except Exception as exc:    # every error -> structured body
-            code, status = protocol.error_status(exc)
-            doc = protocol.error_body(exc)
-            if status == 503 and "Retry-After" not in headers:
-                headers["Retry-After"] = "1"
+            with _obs_span("serve.request", "serve", route=path,
+                           method=method) as sp:
+                try:
+                    if path == "/healthz":
+                        status, doc = self._healthz(method)
+                    elif path == "/metrics":
+                        status, doc = self._metrics(method,
+                                                    req_headers,
+                                                    out_headers)
+                    else:
+                        cls = protocol.REQUEST_TYPES.get(path)
+                        if cls is None:
+                            status, doc = 404, {
+                                "ok": False,
+                                "error": {"code": "not_found",
+                                          "type": "ServeError",
+                                          "message": f"no route {path}"}}
+                        elif method != "POST":
+                            raise ServeError(f"use POST for {path}")
+                        elif self._draining:
+                            raise DrainingError("server is draining")
+                        else:
+                            req = cls.from_json(
+                                protocol.decode_json(body))
+                            status, doc, out_headers = \
+                                await self._handlers[path](req)
+                except Exception as exc:  # every error -> structured body
+                    code, status = protocol.error_status(exc)
+                    doc = protocol.error_body(exc)
+                    if status == 503 \
+                            and "Retry-After" not in out_headers:
+                        out_headers["Retry-After"] = "1"
+                sp.set(status=status)
+        finally:
+            deactivate(token)
+        end_ns = time.perf_counter_ns()
+        self._observe_request(ctx, path, status, doc, end_ns)
+        # correlation lives in the header, never the body: single-flight
+        # joiners of one batch entry must still see byte-identical
+        # bodies, and v1 response payloads stay bit-identical
+        out_headers.setdefault("X-Request-Id", rid)
+        return status, doc, out_headers
+
+    def _metrics(self, method: str, req_headers: Dict[str, str],
+                 out_headers: Dict[str, str]) -> Tuple[int, object]:
+        if method != "GET":
+            raise ServeError("use GET for /metrics")
+        accept = req_headers.get("accept", "")
+        if "text/plain" in accept.lower():
+            out_headers["Content-Type"] = _PROMETHEUS_CONTENT_TYPE
+            return 200, render_prometheus(get_registry())
+        return 200, get_registry().collect()
+
+    def _observe_request(self, ctx: RequestContext, path: str,
+                         status: int, doc, end_ns: int) -> None:
+        """Post-response bookkeeping: metrics, SLO window, per-request
+        trace segments, access-log line."""
+        registry = get_registry()
+        total_s = max(0, end_ns - ctx.started_ns) / 1e9
+        degraded = bool(isinstance(doc, dict) and doc.get("degraded"))
         registry.counter(
             "repro_serve_requests_total",
             "requests served, by route and status").inc(
                 route=path, status=status)
         registry.histogram(
             "repro_serve_request_seconds",
-            "request handling latency").observe(
-                time.monotonic() - started, route=path)
-        return status, doc, headers
+            "request handling latency").observe(total_s, route=path)
+        segs = ctx.segments_ns(end_ns)
+        stage_hist = registry.histogram(
+            "repro_serve_request_stage_seconds",
+            "per-request latency breakdown, by stage")
+        for stage in ("queue", "batch", "exec", "finalize"):
+            stage_hist.observe(segs[stage] / 1e9, route=path,
+                               stage=stage)
+        if path in protocol.REQUEST_TYPES:
+            self.slo.observe(total_s, error=status >= 500,
+                             degraded=degraded)
+        tracer = get_tracer()
+        if tracer.enabled:
+            for name, seg_start, dur in ctx.segment_spans(end_ns):
+                tracer.record_complete(
+                    f"serve.{name}", "serve", start_ns=seg_start,
+                    dur_ns=dur,
+                    args={"request_id": ctx.request_id},
+                    track=f"req:{ctx.request_id}", depth=1)
+        if self._access_log is not None:
+            if status >= 400:
+                outcome = "error"
+            elif degraded:
+                outcome = "degraded"
+            else:
+                outcome = "ok"
+            source = (doc.get("source")
+                      if isinstance(doc, dict) else None)
+            self._access_log.write({
+                "id": ctx.request_id,
+                "route": path,
+                "method": ctx.method,
+                "status": status,
+                "ok": status < 400,
+                "outcome": outcome,
+                "degraded": degraded,
+                "source": source,
+                "cache_hit": ctx.cache_hit,
+                "queue_ms": round(segs["queue"] / 1e6, 3),
+                "batch_ms": round(segs["batch"] / 1e6, 3),
+                "exec_ms": round(segs["exec"] / 1e6, 3),
+                "finalize_ms": round(segs["finalize"] / 1e6, 3),
+                "total_ms": round(total_s * 1e3, 3),
+            })
 
     def _healthz(self, method: str) -> Tuple[int, Dict]:
         if method != "GET":
@@ -380,7 +487,8 @@ class ReproServer:
                      "version": __version__,
                      "workers": self.engine.workers,
                      "inflight": self.batcher.inflight,
-                     "admitted": self.admission.inflight}
+                     "admitted": self.admission.inflight,
+                     "slo": self.slo.snapshot()}
 
     async def _read_request(self, reader):
         """One HTTP/1.1 request; None on clean EOF.
@@ -424,12 +532,17 @@ class ReproServer:
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
-    async def _write_response(self, writer, status: int, doc: Dict,
+    async def _write_response(self, writer, status: int, doc,
                               extra: Dict[str, str],
                               keep_alive: bool) -> None:
-        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        if isinstance(doc, str):        # pre-rendered (Prometheus text)
+            payload = doc.encode("utf-8")
+        else:
+            payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        extra = dict(extra)
+        ctype = extra.pop("Content-Type", "application/json")
         lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                 "Content-Type: application/json",
+                 f"Content-Type: {ctype}",
                  f"Content-Length: {len(payload)}",
                  f"Connection: {'keep-alive' if keep_alive else 'close'}"]
         for name, value in sorted(extra.items()):
@@ -456,7 +569,7 @@ class ReproServer:
                     break
                 method, path, headers, body = request
                 status, doc, extra = await self._dispatch(
-                    method, path, body)
+                    method, path, headers, body)
                 keep = (headers.get("connection", "").lower() != "close"
                         and not self._draining)
                 await self._write_response(writer, status, doc, extra,
@@ -465,12 +578,19 @@ class ReproServer:
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # drain cancelled an idle keep-alive connection; suppress so
+            # the stream protocol's done-callback doesn't log the stack
+            pass
         finally:
             self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # a cancelled task re-raises at any await; the socket
+                # is closed either way
                 pass
 
 

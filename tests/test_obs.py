@@ -120,7 +120,11 @@ class TestTracing:
             with tracer.span("b", "cat2"):
                 pass
         doc = json.loads(json.dumps(tracer.to_chrome_trace()))
-        events = doc["traceEvents"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        # one thread_name metadata event naming the single track
+        assert [m["name"] for m in meta] == ["thread_name"]
+        assert meta[0]["tid"] == events[0]["tid"]
         assert len(events) == 2
         # sorted by start: parent first
         assert [e["name"] for e in events] == ["a", "b"]

@@ -392,10 +392,13 @@ class TestLoadgen:
         c = build_schedule(LoadgenConfig(seed=12, requests=40,
                                          rate_per_s=100.0))
         assert a != c
-        offsets = [off for off, _r, _p in a]
+        offsets = [off for off, _r, _p, _i in a]
         assert offsets == sorted(offsets)
         assert all(r in ("/v1/simulate", "/v1/estimate", "/v1/compare")
-                   for _o, r, _p in a)
+                   for _o, r, _p, _i in a)
+        # deterministic request ids: seed + index
+        assert [rid for _o, _r, _p, rid in a] \
+            == [f"req-s11-{i:05d}" for i in range(40)]
 
     def test_loadgen_against_live_server(self):
         handle = start_in_thread(ServeConfig(window_ms=1.0))
