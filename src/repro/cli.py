@@ -312,15 +312,25 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _severity_arg(text: str):
+    """argparse adapter: taxonomy error -> usage error (exit 2)."""
+    from .errors import LintUsageError
+    from .lint import Severity
+    try:
+        return Severity.parse(text)
+    except LintUsageError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .errors import LintError
     from .lint import (Baseline, DEFAULT_BASELINE_NAME, LintEngine,
-                       Severity, apply_fixes, render_json, render_text)
+                       apply_fixes, render_json, render_text)
 
     engine = LintEngine()
-    threshold = Severity.parse(args.min_severity)
+    threshold = args.min_severity        # parsed by _severity_arg
     source_root = engine.package_root.parent      # parent of repro/
 
     def run_lint():
@@ -351,8 +361,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline = Baseline.load(baseline_path)
 
     # --- safe autofixes ------------------------------------------------
-    if args.fix:
-        fixed = apply_fixes(result.findings, source_root)
+    fix_rules = args.fix_rule or None    # None = DEFAULT_FIX_RULES
+    if args.fix or fix_rules:
+        fixed = apply_fixes(result.findings, source_root,
+                            rules=fix_rules)
         if fixed:
             print(f"fixed {len(fixed)} finding(s) in place",
                   file=sys.stderr)
@@ -369,8 +381,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if result.count_at_least(threshold) else 0
 
 
+def _sanitized_call(fn) -> int:
+    """Run ``fn`` under a fresh active sanitizer; exit 1 on reports."""
+    from .lint.sanitizer import sanitized
+
+    with sanitized() as sanitizer:
+        rc = fn()
+    summary = sanitizer.summary()
+    reports = summary["reports"]
+    print(f"sanitizer: {len(reports)} report(s), "
+          f"{summary['suppressed']} suppressed", file=sys.stderr)
+    for report in reports[:20]:
+        print(f"  [{report['kind']}] {report['detail']}",
+              file=sys.stderr)
+    return rc if rc != 0 else (1 if reports else 0)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .exec.benchrun import main as bench_main
+    from .lint.sanitizer import sanitize_enabled
 
     argv = list(args.scenarios)
     if args.list:
@@ -384,6 +413,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv += ["--workers", str(args.workers)]
     if args.cache_dir is not None:
         argv += ["--cache-dir", args.cache_dir]
+    if sanitize_enabled(getattr(args, "sanitize", False)):
+        return _sanitized_call(lambda: bench_main(argv))
     return bench_main(argv)
 
 
@@ -406,8 +437,13 @@ def _serve_config(args: argparse.Namespace, *, port: int):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .lint.sanitizer import sanitize_enabled
     from .serve import run_server
-    return run_server(_serve_config(args, port=args.port))
+
+    config = _serve_config(args, port=args.port)
+    if sanitize_enabled(getattr(args, "sanitize", False)):
+        return _sanitized_call(lambda: run_server(config))
+    return run_server(config)
 
 
 def _cmd_perfwatch(args: argparse.Namespace) -> int:
@@ -418,27 +454,65 @@ def _cmd_perfwatch(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .errors import ServeError
+    from .lint.sanitizer import double_run_serve, sanitize_enabled, \
+        sanitized
     from .serve import (LoadgenConfig, run_loadgen, start_in_thread,
                         write_report)
 
-    handle = None
-    host, port = args.host, args.port
-    if args.self_serve:
-        handle = start_in_thread(_serve_config(args, port=0))
-        host, port = "127.0.0.1", handle.port
-        print(f"self-serve: started on {handle.url}", file=sys.stderr)
-    try:
-        report = run_loadgen(LoadgenConfig(
+    sanitizing = sanitize_enabled(getattr(args, "sanitize", False))
+    sanitizer_rc = 0
+    if sanitizing:
+        if not args.self_serve:
+            raise ServeError(
+                "--sanitize requires --self-serve: the sanitizer "
+                "double-runs an in-process server and diffs the "
+                "responses")
+        lg_config = LoadgenConfig(
             seed=args.seed, requests=args.requests,
-            rate_per_s=args.rate, host=host, port=port,
-            timeout_s=args.timeout, deadline_ms=args.deadline_ms,
-            slo_p99_ms=args.slo_p99_ms))
-    finally:
-        if handle is not None:
-            clean = handle.stop()
-            print(f"self-serve: drained "
-                  f"({'clean' if clean else 'forced'})",
+            rate_per_s=args.rate, timeout_s=args.timeout,
+            deadline_ms=args.deadline_ms, slo_p99_ms=args.slo_p99_ms)
+        with sanitized() as sanitizer:
+            reports, diff = double_run_serve(
+                _serve_config(args, port=0), lg_config, sanitizer)
+        report = reports[0]
+        summary = sanitizer.summary()
+        summary["double_run"] = diff
+        print(f"sanitizer: {len(summary['reports'])} report(s), "
+              f"{diff['compared']} full-fidelity pairs bit-identical"
+              f"-checked, {diff['excused']} excused, "
+              f"{len(diff['divergences'])} divergence(s)",
+              file=sys.stderr)
+        for entry in summary["reports"][:20]:
+            print(f"  [{entry['kind']}] {entry['detail']}",
                   file=sys.stderr)
+        if args.sanitize_out:
+            with open(args.sanitize_out, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"sanitizer report written to {args.sanitize_out}",
+                  file=sys.stderr)
+        sanitizer_rc = 1 if summary["reports"] else 0
+    else:
+        handle = None
+        host, port = args.host, args.port
+        if args.self_serve:
+            handle = start_in_thread(_serve_config(args, port=0))
+            host, port = "127.0.0.1", handle.port
+            print(f"self-serve: started on {handle.url}",
+                  file=sys.stderr)
+        try:
+            report = run_loadgen(LoadgenConfig(
+                seed=args.seed, requests=args.requests,
+                rate_per_s=args.rate, host=host, port=port,
+                timeout_s=args.timeout, deadline_ms=args.deadline_ms,
+                slo_p99_ms=args.slo_p99_ms))
+        finally:
+            if handle is not None:
+                clean = handle.stop()
+                print(f"self-serve: drained "
+                      f"({'clean' if clean else 'forced'})",
+                      file=sys.stderr)
     if args.out:
         write_report(report, args.out)
         print(f"report written to {args.out}", file=sys.stderr)
@@ -459,7 +533,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
               f"degraded rate {slo['degraded_rate']:.1%})")
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
-    return 0
+    return sanitizer_rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -608,6 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default .)")
     p.add_argument("--no-sweep", action="store_true",
                    help="skip the serial/parallel/cached timing sweep")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the concurrency sanitizer "
+                        "(also REPRO_SANITIZE=1); exit 1 on any report")
     p.set_defaults(func=_cmd_bench)
 
     serve_opts = argparse.ArgumentParser(add_help=False,
@@ -637,6 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="MS",
                             help="p99 latency SLO target "
                                  "(default 2000 ms)")
+    serve_opts.add_argument("--sanitize", action="store_true",
+                            help="run under the runtime concurrency "
+                                 "sanitizer (also REPRO_SANITIZE=1); "
+                                 "exit 1 on any report")
 
     p = sub.add_parser(
         "serve", parents=[telemetry, serve_opts],
@@ -670,6 +751,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "'' disables)")
     p.add_argument("--json", action="store_true",
                    help="also print the full report to stdout")
+    p.add_argument("--sanitize-out", default="SANITIZE_serve.json",
+                   metavar="FILE",
+                   help="sanitizer report artifact for --sanitize "
+                        "runs (default SANITIZE_serve.json; '' "
+                        "disables)")
     p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
@@ -695,7 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="static analysis: prove the event/energy/determinism "
-             "contracts (R001-R006)")
+             "and concurrency contracts (R001-R011)")
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files/directories to lint "
                         "(default: the repro package)")
@@ -709,12 +795,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write current findings to the baseline file "
                         "and exit 0")
     p.add_argument("--fix", action="store_true",
-                   help="apply safe automatic fixes "
+                   help="apply the default safe autofixes "
                         "(bare except: -> except Exception:)")
+    p.add_argument("--fix-rule", action="append", metavar="RULE",
+                   help="fix one rule's findings (repeatable; R004, "
+                        "R005, R007); implies --fix for those rules "
+                        "only")
     p.add_argument("--min-severity", default="warning",
-                   choices=["info", "warning", "error"],
-                   help="lowest severity that fails the run "
-                        "(default warning)")
+                   type=_severity_arg, metavar="LEVEL",
+                   help="lowest severity that fails the run: info, "
+                        "warning, or error (default warning)")
     p.add_argument("--verbose", action="store_true",
                    help="also list baselined findings")
     p.set_defaults(func=_cmd_lint)

@@ -35,6 +35,12 @@ class LintError(ReproError):
     missing contract tables, malformed baseline file)."""
 
 
+class LintUsageError(LintError):
+    """A lint entry point was called with an invalid argument (unknown
+    severity name, unknown fix rule); the CLI adapter converts this
+    into an argparse usage error."""
+
+
 class ExecError(ReproError):
     """The parallel execution engine was misused (unknown task kind,
     invalid cache key, unpicklable payload, failed worker)."""

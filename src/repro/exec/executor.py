@@ -275,6 +275,8 @@ class Engine:
         counter = registry.counter(
             "repro_exec_tasks_total",
             "tasks processed by the execution engine")
+        from ..lint.sanitizer import get_sanitizer
+        sanitizer = get_sanitizer()
         with _obs_span("exec.engine.run", "exec",
                        tasks=len(tasks), workers=self.workers) as sp:
             by_key: Dict[str, Dict[str, object]] = {}
@@ -288,6 +290,9 @@ class Engine:
                 if cached is not None:
                     by_key[task.key] = cached
                     counter.inc(kind=task.kind, source="cache")
+                    if sanitizer is not None:
+                        sanitizer.observe_result(task.kind, task.key,
+                                                 cached, "cache")
                     if sources is not None:
                         sources[task.key] = "cache"
                 else:
@@ -300,6 +305,9 @@ class Engine:
                 if self.cache is not None:
                     self.cache.put(task.key, payload)
                 counter.inc(kind=task.kind, source="executed")
+                if sanitizer is not None:
+                    sanitizer.observe_result(task.kind, task.key,
+                                             payload, "executed")
                 if sources is not None:
                     sources[task.key] = "executed"
             results = [by_key[task.key] for task in tasks]

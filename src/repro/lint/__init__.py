@@ -13,7 +13,17 @@ R003   model code is deterministic (no clocks / unseeded RNG / set order)
 R004   library code raises the repro.errors taxonomy
 R005   config dataclasses are frozen; no mutable default arguments
 R006   obs metric names are declared once in WELL_KNOWN_METRICS
+R007   no blocking calls inside ``async def`` bodies
+R008   every created task/future is consumed or explicitly detached
+R009   shared mutable state crossing async/sync contexts needs a lock
+R010   process-pool submissions are picklable by construction
+R011   contextvars never cross the executor boundary directly
 =====  ==================================================================
+
+R007-R011 (the concurrency tier, PR 7) ride on per-function scopes and
+control-flow graphs from :mod:`repro.lint.cfg`; their dynamic
+counterpart is the runtime sanitizer in :mod:`repro.lint.sanitizer`
+(``repro serve --sanitize`` / ``REPRO_SANITIZE=1``).
 
 Run ``repro lint`` from the CLI, or programmatically::
 
@@ -24,19 +34,27 @@ Run ``repro lint`` from the CLI, or programmatically::
 """
 
 from .baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from .cfg import CFG, FunctionScope, ModuleScopes, build_cfg, collect_scopes
 from .engine import LintEngine, ParsedModule, Rule, default_rules, register
 from .findings import Finding, LintResult, Severity, fingerprint
-from .fixes import apply_fixes
+from .fixes import DEFAULT_FIX_RULES, apply_fixes
 from .model_facts import (ComponentDecl, ModelFacts,
                           EXPECTED_COMPONENT_COUNT, load_model_facts)
 from .reporters import render_json, render_text
+from .sanitizer import (ConcurrencySanitizer, diff_double_run,
+                        double_run_serve, get_sanitizer,
+                        sanitize_enabled, sanitized, set_sanitizer)
 
 __all__ = [
     "Baseline", "BaselineEntry", "DEFAULT_BASELINE_NAME",
+    "CFG", "FunctionScope", "ModuleScopes", "build_cfg",
+    "collect_scopes",
     "LintEngine", "ParsedModule", "Rule", "default_rules", "register",
     "Finding", "LintResult", "Severity", "fingerprint",
-    "apply_fixes",
+    "DEFAULT_FIX_RULES", "apply_fixes",
     "ComponentDecl", "ModelFacts", "EXPECTED_COMPONENT_COUNT",
     "load_model_facts",
     "render_json", "render_text",
+    "ConcurrencySanitizer", "diff_double_run", "double_run_serve",
+    "get_sanitizer", "sanitize_enabled", "sanitized", "set_sanitizer",
 ]

@@ -1,0 +1,376 @@
+"""Per-function scope and control-flow facts for the concurrency tier.
+
+The original lint engine (PR 2) was single-construct AST matching; the
+concurrency rules (R007-R011) need two more ingredients, both built
+here once per module and cached on the :class:`ParsedModule`:
+
+* **scopes** — every ``def``/``async def`` with its dotted qualname
+  (``MicroBatcher.submit``, ``run_loadgen._fire``), async-ness, and
+  enclosing class, plus an ``id(node) -> scope`` map so any finding can
+  be attributed to the function it lives in.  This is what lets R003
+  narrow its old path-prefix carve-out down to *named* functions with
+  justifications.
+* **a per-function CFG** — basic blocks over the statement list, with
+  edges for branches, loops, try/except and early exits.  Exit edges
+  are tagged ``return``/``raise``/``fall`` so path queries can excuse
+  exception exits.  Await suspension points (``await`` / ``async for``
+  / ``async with``) are recorded per block.
+
+The CFG is deliberately approximate where Python control flow is
+undecidable (exception edges originate at the try entry, ``while
+True`` only exits through ``break``); rules built on it query
+*reachability*, so the approximations are tuned to avoid false
+positives on real code at the cost of missing some exotic leaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: pseudo block id for the single function exit
+EXIT = -1
+
+
+@dataclass
+class FunctionScope:
+    """One ``def``/``async def`` and its dotted location in the module."""
+
+    node: ast.AST
+    qualname: str                       # e.g. "MicroBatcher.submit"
+    is_async: bool
+    class_name: Optional[str] = None    # nearest enclosing class, if a method
+    parent: Optional["FunctionScope"] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+class ModuleScopes:
+    """Every function scope in one module, with node attribution."""
+
+    def __init__(self) -> None:
+        self.functions: List[FunctionScope] = []
+        self._owner: Dict[int, FunctionScope] = {}
+
+    def scope_of(self, node: ast.AST) -> Optional[FunctionScope]:
+        """The innermost function owning ``node`` (None = module level)."""
+        return self._owner.get(id(node))
+
+    def qualname_of(self, node: ast.AST) -> str:
+        scope = self.scope_of(node)
+        return scope.qualname if scope is not None else ""
+
+
+def collect_scopes(tree: ast.Module) -> ModuleScopes:
+    """Walk a module once, building qualnames and node ownership."""
+    scopes = ModuleScopes()
+
+    def visit(node: ast.AST, current: Optional[FunctionScope],
+              prefix: str, cls: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES):
+                scope = FunctionScope(
+                    node=child, qualname=prefix + child.name,
+                    is_async=isinstance(child, ast.AsyncFunctionDef),
+                    class_name=cls, parent=current)
+                scopes.functions.append(scope)
+                # the def statement itself belongs to the outer scope
+                if current is not None:
+                    scopes._owner[id(child)] = current
+                visit(child, scope, scope.qualname + ".", None)
+            elif isinstance(child, ast.ClassDef):
+                if current is not None:
+                    scopes._owner[id(child)] = current
+                visit(child, current, prefix + child.name + ".",
+                      child.name)
+            else:
+                if current is not None:
+                    scopes._owner[id(child)] = current
+                visit(child, current, prefix, cls)
+
+    visit(tree, None, "", None)
+    return scopes
+
+
+def walk_own(func_node: ast.AST) -> Iterator[ast.AST]:
+    """Nodes owned directly by a function: nested def/lambda bodies are
+    yielded as single nodes but not descended into."""
+    stack = list(ast.iter_child_nodes(func_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _FUNC_NODES + (ast.Lambda,)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+# ---- control-flow graph --------------------------------------------------
+
+@dataclass
+class Block:
+    """A basic block: a run of statement *units* with no internal branch.
+
+    Each unit is ``(stmt, expr_roots)`` — for simple statements the
+    roots cover the whole statement, for compound statements only the
+    expressions evaluated *at this block* (an ``if`` test, a loop
+    iterable), with the branch bodies living in successor blocks.
+    """
+
+    id: int
+    units: List[Tuple[ast.stmt, List[ast.AST]]] = field(
+        default_factory=list)
+    succ: List[Tuple[int, str]] = field(default_factory=list)
+    suspends: bool = False          # contains an await point
+
+
+@dataclass
+class CFG:
+    """Per-function control-flow graph (blocks + tagged edges)."""
+
+    blocks: List[Block]
+    entry: int
+    stmt_at: Dict[int, Tuple[int, int]]   # id(stmt) -> (block id, unit idx)
+    await_lines: List[int]
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+
+_COMPOUND = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.Try,
+             ast.With, ast.AsyncWith)
+
+
+def _own_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """Expression roots evaluated by the statement itself (compound
+    statements exclude their bodies, which land in other blocks)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots: List[ast.AST] = []
+        for item in stmt.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+        return roots
+    if isinstance(stmt, ast.Try):
+        return []
+    return list(ast.iter_child_nodes(stmt))
+
+
+def _has_await(roots: Sequence[ast.AST]) -> Optional[int]:
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Await):
+                return node.lineno
+    return None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.stmt_at: Dict[int, Tuple[int, int]] = {}
+        self.await_lines: List[int] = []
+
+    def new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: Block, dst: int, kind: str = "next") -> None:
+        if (dst, kind) not in src.succ:
+            src.succ.append((dst, kind))
+
+    def place(self, stmt: ast.stmt, block: Block) -> None:
+        roots = _own_exprs(stmt)
+        self.stmt_at[id(stmt)] = (block.id, len(block.units))
+        block.units.append((stmt, roots))
+        line = _has_await(roots)
+        if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+            line = stmt.lineno
+        if line is not None:
+            block.suspends = True
+            self.await_lines.append(line)
+
+    # ``loop`` is (header block, after block) for break/continue targets.
+    def stmts(self, body: Sequence[ast.stmt], current: Optional[Block],
+              loop) -> Optional[Block]:
+        for stmt in body:
+            if current is None:         # unreachable, but keep modeling
+                current = self.new_block()
+            current = self.stmt(stmt, current, loop)
+        return current
+
+    def stmt(self, stmt: ast.stmt, current: Block, loop
+             ) -> Optional[Block]:
+        self.place(stmt, current)
+        if isinstance(stmt, ast.Return):
+            self.edge(current, EXIT, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.edge(current, EXIT, "raise")
+            return None
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                self.edge(current, loop[1].id, "break")
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                self.edge(current, loop[0].id, "continue")
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current, loop)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current, loop)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current, loop)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.stmts(stmt.body, current, loop)
+        return current
+
+    def _if(self, stmt: ast.If, current: Block, loop) -> Optional[Block]:
+        body = self.new_block()
+        self.edge(current, body.id, "true")
+        ends = []
+        body_end = self.stmts(stmt.body, body, loop)
+        if body_end is not None:
+            ends.append(body_end)
+        if stmt.orelse:
+            orelse = self.new_block()
+            self.edge(current, orelse.id, "false")
+            orelse_end = self.stmts(stmt.orelse, orelse, loop)
+            if orelse_end is not None:
+                ends.append(orelse_end)
+        else:
+            ends.append(current)        # condition false: fall through
+        if not ends:
+            return None
+        join = self.new_block()
+        for end in ends:
+            self.edge(end, join.id)
+        return join
+
+    def _loop(self, stmt, current: Block, loop) -> Block:
+        header = self.new_block()
+        self.edge(current, header.id)
+        self.place(stmt, header)
+        body = self.new_block()
+        self.edge(header, body.id, "iterate")
+        after = self.new_block()
+        # ``while True`` exits only through break
+        infinite = (isinstance(stmt, ast.While)
+                    and isinstance(stmt.test, ast.Constant)
+                    and stmt.test.value is True)
+        body_end = self.stmts(stmt.body, body, (header, after))
+        if body_end is not None:
+            self.edge(body_end, header.id, "loop")
+        exit_from = header
+        if stmt.orelse:
+            orelse = self.new_block()
+            if not infinite:
+                self.edge(header, orelse.id, "exhausted")
+            orelse_end = self.stmts(stmt.orelse, orelse, loop)
+            if orelse_end is not None:
+                self.edge(orelse_end, after.id)
+        elif not infinite:
+            self.edge(exit_from, after.id, "exhausted")
+        return after
+
+    def _try(self, stmt: ast.Try, current: Block, loop
+             ) -> Optional[Block]:
+        body = self.new_block()
+        self.edge(current, body.id)
+        ends = []
+        body_end = self.stmts(stmt.body, body, loop)
+        if stmt.orelse and body_end is not None:
+            body_end = self.stmts(stmt.orelse, body_end, loop)
+        if body_end is not None:
+            ends.append(body_end)
+        for handler in stmt.handlers:
+            hblock = self.new_block()
+            # exceptions may fire anywhere in the body; edging from the
+            # try entry keeps the graph simple (reachability-accurate
+            # for code before the try)
+            self.edge(current, hblock.id, "except")
+            hend = self.stmts(handler.body, hblock, loop)
+            if hend is not None:
+                ends.append(hend)
+        join = self.new_block() if (ends or stmt.finalbody) else None
+        for end in ends:
+            self.edge(end, join.id)
+        if join is None:
+            return None
+        if stmt.finalbody:
+            return self.stmts(stmt.finalbody, join, loop)
+        return join if ends else None
+
+
+def build_cfg(func_node: ast.AST) -> CFG:
+    """Basic-block CFG for one ``def``/``async def`` body."""
+    builder = _Builder()
+    entry = builder.new_block()
+    last = builder.stmts(func_node.body, entry, None)
+    if last is not None:
+        builder.edge(last, EXIT, "fall")
+    return CFG(blocks=builder.blocks, entry=entry.id,
+               stmt_at=builder.stmt_at,
+               await_lines=sorted(set(builder.await_lines)))
+
+
+# ---- reachability queries ------------------------------------------------
+
+def _unit_loads(roots: Sequence[ast.AST], name: str) -> bool:
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False
+
+
+def leaks_to_exit(cfg: CFG, creation_stmt: ast.stmt, name: str) -> bool:
+    """True when some non-raise path runs from the creation of ``name``
+    to the function exit without ever touching ``name`` again.
+
+    Any later mention of the name (await, call argument, return value,
+    container store, attribute access) counts as consumption; a path
+    that exits via ``raise`` is excused (the error path is allowed to
+    abandon work).  This is the R008 core query.
+    """
+    where = cfg.stmt_at.get(id(creation_stmt))
+    if where is None:
+        return False
+    block_id, unit_idx = where
+    block = cfg.block(block_id)
+    # consumption later in the creation block gates every path through it
+    for stmt, roots in block.units[unit_idx + 1:]:
+        if _unit_loads(roots, name):
+            return False
+
+    def block_consumes(candidate: Block) -> bool:
+        return any(_unit_loads(roots, name)
+                   for _stmt, roots in candidate.units)
+
+    seen = set()
+    frontier = [dst for dst, kind in block.succ if kind != "raise"]
+    while frontier:
+        dst = frontier.pop()
+        if dst == EXIT:
+            return True
+        if dst in seen:
+            continue
+        seen.add(dst)
+        candidate = cfg.block(dst)
+        if block_consumes(candidate):
+            continue
+        frontier.extend(d for d, kind in candidate.succ
+                        if kind != "raise")
+    return False

@@ -1,0 +1,784 @@
+"""Concurrency-correctness rules (R007-R011).
+
+The serve stack (asyncio) and the execution engine (process pool) are
+the layers where a single bug silently breaks the repo's strongest
+invariant — bit-identical results under batching, caching, and fan-out.
+These rules prove the async/multiprocess safety contracts statically,
+using the per-function scopes and CFGs from :mod:`repro.lint.cfg`:
+
+* R007 — no blocking calls inside ``async def`` bodies (``time.sleep``,
+  sync socket/file/subprocess I/O, ``Engine.run`` without an executor
+  offload);
+* R008 — every created task/future is awaited, gathered, stored, or
+  explicitly detached through the sanctioned ``detach_future`` helper;
+  a future that can reach the function exit untouched on some
+  non-exception path is a leak;
+* R009 — shared mutable state is not written from both async and sync
+  (worker/executor) contexts without a lock, and no code writes
+  private attributes on objects it does not own (the ad-hoc
+  ``fut._repro_meta`` shape);
+* R010 — everything submitted to a ``ProcessPoolExecutor`` is
+  import-resolvable and picklable by construction: top-level
+  callables only, no lambdas, closures, or bound methods;
+* R011 — contextvar hygiene: worker-side functions (the ones that run
+  in pool processes) never read the request contextvars directly; the
+  sanctioned channels are ``to_wire`` and the task-tags handoff
+  re-established via ``request_scope``.
+
+All five are whole-module analyses but deliberately *local*: they
+never chase imports, so a contract they cannot prove is silently
+skipped rather than guessed at.  The runtime counterpart — the
+concurrency sanitizer in :mod:`repro.lint.sanitizer` — covers the
+dynamic residue (actual loop blocking, actual unretrieved futures,
+actual cross-process divergence).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .cfg import build_cfg, leaks_to_exit, walk_own
+from .engine import ParsedModule, Rule, register
+from .findings import Finding, Severity
+from .model_facts import ModelFacts
+from .rules import _dotted
+
+#: the one sanctioned foreign-future write (see serve/batcher.py)
+DETACH_HELPER = "detach_future"
+
+
+def _module_imports(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names.add(node.module.split(".")[0])
+    return names
+
+
+def _imported_names(tree: ast.Module) -> Set[str]:
+    """Local names bound by import statements (module level)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+# ---- R007 ----------------------------------------------------------------
+
+_BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "socket.socket": "use asyncio transports or run in an executor",
+    "socket.create_connection": "use `loop.create_connection`",
+    "socket.getaddrinfo": "use `loop.getaddrinfo`",
+    "subprocess.run": "use `asyncio.create_subprocess_exec`",
+    "subprocess.call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_output": "use `asyncio.create_subprocess_exec`",
+    "subprocess.Popen": "use `asyncio.create_subprocess_exec`",
+    "urllib.request.urlopen": "offload to an executor",
+    "requests.get": "offload to an executor",
+    "requests.post": "offload to an executor",
+    "requests.put": "offload to an executor",
+    "requests.delete": "offload to an executor",
+    "requests.request": "offload to an executor",
+    "http.client.HTTPConnection": "offload to an executor",
+}
+
+_BLOCKING_METHODS = ("read_text", "write_text", "read_bytes",
+                     "write_bytes")
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """R007: no blocking calls inside ``async def`` bodies.
+
+    One synchronous sleep, file read, or in-loop ``Engine.run`` stalls
+    *every* in-flight request sharing the event loop — the exact
+    failure mode the micro-batcher exists to avoid.  Offload via
+    ``run_in_executor``/``asyncio.to_thread`` (the batcher's
+    ``functools.partial(self.engine.run, ...)`` shape is fine: that is
+    a reference, not a call).  Nested synchronous ``def``/lambdas are
+    excluded — they run wherever they are called.
+    """
+
+    id = "R007"
+    title = "blocking call in async function"
+    severity = Severity.ERROR
+
+    def check_module(self, module: ParsedModule,
+                     facts: ModelFacts) -> Iterable[Finding]:
+        scopes = module.function_scopes()
+        for scope in scopes.functions:
+            if not scope.is_async:
+                continue
+            for node in walk_own(scope.node):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(module, scope, node)
+
+    def _check_call(self, module, scope, node: ast.Call):
+        dotted = _dotted(node.func)
+        hint = _BLOCKING_CALLS.get(dotted)
+        if hint is not None:
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"blocking call `{dotted}(...)` in async function "
+                f"`{scope.qualname}`; {hint}",
+                fixable=(dotted == "time.sleep"))
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"blocking `open(...)` in async function "
+                f"`{scope.qualname}`; offload file I/O to an executor")
+            return
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _BLOCKING_METHODS:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"blocking `.{node.func.attr}(...)` in async "
+                    f"function `{scope.qualname}`; offload file I/O "
+                    f"to an executor")
+            elif node.func.attr == "run" and \
+                    _dotted(node.func.value).endswith("engine"):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"direct `Engine.run(...)` in async function "
+                    f"`{scope.qualname}` blocks the event loop for "
+                    f"the whole batch; offload via "
+                    f"`loop.run_in_executor(None, functools.partial("
+                    f"engine.run, ...))`")
+
+
+# ---- R008 ----------------------------------------------------------------
+
+_CREATION_TAILS = ("create_task", "ensure_future", "create_future",
+                   "run_in_executor", "to_thread", "submit")
+
+
+def _is_creation(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func)
+    return bool(dotted) and dotted.split(".")[-1] in _CREATION_TAILS
+
+
+@register
+class FutureLeakRule(Rule):
+    """R008: every created task/future is consumed or detached.
+
+    A fire-and-forget ``create_task``/``submit`` whose result is never
+    awaited loses exceptions (asyncio logs "exception was never
+    retrieved" *at garbage-collection time*, far from the bug) and
+    races shutdown.  Consumption is any later mention of the binding —
+    ``await``, ``gather``, storing it, passing it on (including to the
+    sanctioned ``detach_future`` helper).  The CFG query flags a
+    future that can reach the function exit untouched on some
+    non-exception path, so consuming on one branch of an ``if`` is not
+    enough.
+    """
+
+    id = "R008"
+    title = "task/future is never awaited or detached"
+    severity = Severity.ERROR
+
+    def check_module(self, module: ParsedModule,
+                     facts: ModelFacts) -> Iterable[Finding]:
+        scopes = module.function_scopes()
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Expr) and _is_creation(stmt.value):
+                yield self._leak(module, stmt.value, "<module>")
+        for scope in scopes.functions:
+            cfg = None
+            for node in walk_own(scope.node):
+                if isinstance(node, ast.Expr) and \
+                        _is_creation(node.value):
+                    yield self._leak(module, node.value, scope.qualname)
+                elif isinstance(node, ast.Assign) and \
+                        _is_creation(node.value) and \
+                        len(node.targets) == 1 and \
+                        isinstance(node.targets[0], ast.Name):
+                    if cfg is None:
+                        cfg = build_cfg(scope.node)
+                    if leaks_to_exit(cfg, node, node.targets[0].id):
+                        yield self._leak(module, node.value,
+                                         scope.qualname,
+                                         name=node.targets[0].id)
+
+    def _leak(self, module, call: ast.Call, qualname: str,
+              name: Optional[str] = None) -> Finding:
+        what = f"`{name}`" if name else "the task/future"
+        return self.finding(
+            module, call.lineno, call.col_offset,
+            f"`{_dotted(call.func)}(...)` in `{qualname}` creates a "
+            f"task/future but {what} can reach the function exit "
+            f"without being awaited, gathered, stored, or handed to "
+            f"`{DETACH_HELPER}(...)`")
+
+
+# ---- R009 ----------------------------------------------------------------
+
+_MUTATORS = ("append", "add", "update", "pop", "clear", "extend",
+             "remove", "discard", "insert", "setdefault", "appendleft",
+             "popleft")
+
+_GUARD_MARKERS = ("lock", "mutex", "cond", "sem")
+
+_LIFECYCLE_METHODS = ("__init__", "__post_init__", "__new__")
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_guard(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    dotted = _dotted(expr).lower()
+    return any(marker in dotted for marker in _GUARD_MARKERS)
+
+
+@register
+class SharedStateRule(Rule):
+    """R009: shared mutable state needs a documented sync point.
+
+    Two shapes broke (or nearly broke) the serve stack and are now
+    banned:
+
+    * **foreign private writes** — stamping private attributes on an
+      object another component owns (``fut._repro_meta = ...``,
+      ``handle._loop = loop``).  The one sanctioned shape is the named
+      ``detach_future`` helper in ``serve/batcher.py``, which this
+      rule allowlists *by function name*, not attribute spelling.
+    * **dual-context writes** — an attribute or module global written
+      from both an ``async def`` (event-loop context) and a plain
+      ``def`` (thread/worker context) with no ``with <lock>:`` around
+      at least the unguarded writes.  ``__init__``/``__post_init__``
+      do not count as writers (construction happens-before sharing).
+
+    Only modules that import ``asyncio``/``concurrent``/``threading``
+    are checked — purely synchronous code has no second context.
+    """
+
+    id = "R009"
+    title = "shared mutable state written without a sync point"
+    severity = Severity.ERROR
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        imports = _module_imports(module.tree)
+        return bool(imports & {"asyncio", "concurrent", "threading",
+                               "multiprocessing"})
+
+    def check_module(self, module: ParsedModule,
+                     facts: ModelFacts) -> Iterable[Finding]:
+        yield from self._foreign_private_writes(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._dual_context_attrs(module, node)
+        yield from self._dual_context_globals(module)
+
+    # -- foreign private writes -----------------------------------------
+
+    def _foreign_private_writes(self, module: ParsedModule):
+        scopes = module.function_scopes()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                attr = target.attr
+                if not attr.startswith("_") or attr.startswith("__"):
+                    continue
+                if _root_name(target) in ("self", "cls"):
+                    continue
+                scope = scopes.scope_of(node)
+                if scope is not None and scope.name == DETACH_HELPER:
+                    continue
+                owner = scope.qualname if scope else "<module>"
+                yield self.finding(
+                    module, target.lineno, target.col_offset,
+                    f"`{owner}` writes private attribute "
+                    f"`{_dotted(target.value)}.{attr}` on an object it "
+                    f"does not own; move the write into a method of "
+                    f"the owning class or the sanctioned "
+                    f"`{DETACH_HELPER}` helper")
+
+    # -- dual-context class attributes ----------------------------------
+
+    def _method_writes(self, method) -> List[Tuple[str, ast.AST, bool]]:
+        """(attr, node, guarded) for every ``self.X`` write."""
+        writes: List[Tuple[str, ast.AST, bool]] = []
+
+        def self_attr(node: ast.AST) -> Optional[str]:
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "self":
+                return node.attr
+            return None
+
+        def visit(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                guarded = guarded or any(_is_guard(item)
+                                         for item in node.items)
+            if isinstance(node, (ast.Assign, ast.AugAssign,
+                                 ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    attr = self_attr(target)
+                    if attr is None and isinstance(target,
+                                                   ast.Subscript):
+                        attr = self_attr(target.value)
+                    if attr is not None:
+                        writes.append((attr, target, guarded))
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATORS:
+                attr = self_attr(node.func.value)
+                if attr is not None:
+                    writes.append((attr, node, guarded))
+            for child in ast.iter_child_nodes(node):
+                visit(child, guarded)
+
+        visit(method, False)
+        return writes
+
+    def _dual_context_attrs(self, module: ParsedModule,
+                            cls: ast.ClassDef):
+        by_attr: Dict[str, Dict[str, List[Tuple[ast.AST, bool]]]] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name in _LIFECYCLE_METHODS:
+                continue
+            context = "async" \
+                if isinstance(method, ast.AsyncFunctionDef) else "sync"
+            for attr, node, guarded in self._method_writes(method):
+                by_attr.setdefault(attr, {}).setdefault(
+                    context, []).append((node, guarded))
+        for attr, contexts in sorted(by_attr.items()):
+            if "async" not in contexts or "sync" not in contexts:
+                continue
+            unguarded = [node
+                         for writes in contexts.values()
+                         for node, guarded in writes if not guarded]
+            if not unguarded:
+                continue
+            first = min(unguarded, key=lambda n: (n.lineno,
+                                                  n.col_offset))
+            yield self.finding(
+                module, first.lineno, first.col_offset,
+                f"`{cls.name}.{attr}` is written from both async and "
+                f"sync methods without a lock; guard the writes with "
+                f"`with <lock>:` or confine them to one context")
+
+    # -- dual-context module globals ------------------------------------
+
+    def _dual_context_globals(self, module: ParsedModule):
+        mutables: Set[str] = set()
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and \
+                    len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                value = stmt.value
+                is_factory = isinstance(value, ast.Call) and \
+                    _dotted(value.func).split(".")[-1] in (
+                        "dict", "list", "set", "defaultdict",
+                        "OrderedDict", "deque")
+                if isinstance(value, (ast.Dict, ast.List,
+                                      ast.Set)) or is_factory:
+                    mutables.add(stmt.targets[0].id)
+        if not mutables:
+            return
+
+        scopes = module.function_scopes()
+        writers: Dict[str, Dict[str, List[Tuple[ast.AST, bool]]]] = {}
+
+        for scope in scopes.functions:
+            declared_global: Set[str] = set()
+            context = "async" if scope.is_async else "sync"
+
+            def visit(node: ast.AST, guarded: bool) -> None:
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    guarded = guarded or any(_is_guard(item)
+                                             for item in node.items)
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+                hit: Optional[Tuple[str, ast.AST]] = None
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets \
+                        if isinstance(node, ast.Assign) \
+                        else [node.target]
+                    for target in targets:
+                        if isinstance(target, ast.Name) and \
+                                target.id in declared_global:
+                            hit = (target.id, target)
+                        elif isinstance(target, ast.Subscript) and \
+                                isinstance(target.value, ast.Name) and \
+                                target.value.id in mutables:
+                            hit = (target.value.id, target)
+                elif isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in _MUTATORS and \
+                        isinstance(node.func.value, ast.Name) and \
+                        node.func.value.id in mutables:
+                    hit = (node.func.value.id, node)
+                if hit is not None:
+                    writers.setdefault(hit[0], {}).setdefault(
+                        context, []).append((hit[1], guarded))
+                for child in ast.iter_child_nodes(node):
+                    if not isinstance(child, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef,
+                                              ast.Lambda)):
+                        visit(child, guarded)
+
+            visit(scope.node, False)
+
+        for name, contexts in sorted(writers.items()):
+            if "async" not in contexts or "sync" not in contexts:
+                continue
+            unguarded = [node
+                         for writes in contexts.values()
+                         for node, guarded in writes if not guarded]
+            if not unguarded:
+                continue
+            first = min(unguarded, key=lambda n: (n.lineno,
+                                                  n.col_offset))
+            yield self.finding(
+                module, first.lineno, first.col_offset,
+                f"module global `{name}` is written from both async "
+                f"and sync functions without a lock")
+
+
+# ---- R010 ----------------------------------------------------------------
+
+def _returns_process_pool(func) -> bool:
+    returns = getattr(func, "returns", None)
+    return returns is not None and \
+        _dotted(returns).split(".")[-1] == "ProcessPoolExecutor"
+
+
+@register
+class PicklableSubmitRule(Rule):
+    """R010: process-pool work must be picklable by construction.
+
+    ``ProcessPoolExecutor`` pickles the callable *by reference*: it
+    must be import-resolvable in the child (a top-level ``def``), and
+    lambdas, closures, and bound methods all fail — some at submit
+    time, some only when the child unpickles, with a stack trace that
+    points nowhere near the bug.  Pool-typed names are inferred from
+    ``ProcessPoolExecutor(...)`` constructions and from calls to
+    functions annotated ``-> ProcessPoolExecutor`` (the engine's
+    ``_ensure_pool``); ``ThreadPoolExecutor`` names are exempt.  A
+    first argument bound through ``x = f if cond else g`` is resolved
+    through both branches.  ``register_task_kind`` runners get the
+    same treatment — they are called inside pool workers.
+    """
+
+    id = "R010"
+    title = "unpicklable callable submitted to a process pool"
+    severity = Severity.ERROR
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return "ProcessPoolExecutor" in module.source or \
+            "register_task_kind" in module.source
+
+    def check_module(self, module: ParsedModule,
+                     facts: ModelFacts) -> Iterable[Finding]:
+        scopes = module.function_scopes()
+        module_defs = {
+            stmt.name for stmt in module.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        } | _imported_names(module.tree)
+        nested_defs = {s.name for s in scopes.functions
+                       if s.parent is not None}
+        factories = {
+            s.name for s in scopes.functions
+            if _returns_process_pool(s.node)
+        }
+        self_pools = self._self_attr_pools(module.tree)
+
+        for scope in scopes.functions:
+            env = self._local_env(scope, factories)
+            for node in walk_own(scope.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "submit":
+                    receiver = _dotted(node.func.value)
+                    kind = env.get(receiver) or self_pools.get(receiver)
+                    if kind == "process":
+                        yield from self._check_submit(
+                            module, scope, node, env, module_defs,
+                            nested_defs)
+                elif _dotted(node.func).split(".")[-1] == \
+                        "register_task_kind" and len(node.args) >= 2:
+                    yield from self._check_runner(
+                        module, scope, node.args[1], module_defs,
+                        nested_defs)
+        # module-level register_task_kind(kind, fn) calls
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and \
+                    scopes.scope_of(node) is None and \
+                    _dotted(node.func).split(".")[-1] == \
+                    "register_task_kind" and len(node.args) >= 2:
+                yield from self._check_runner(
+                    module, None, node.args[1], module_defs,
+                    nested_defs)
+
+    @staticmethod
+    def _pool_kind(value: ast.AST, factories: Set[str]) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        tail = _dotted(value.func).split(".")[-1]
+        if tail == "ProcessPoolExecutor":
+            return "process"
+        if tail == "ThreadPoolExecutor":
+            return "thread"
+        if tail in factories:
+            return "process"
+        return None
+
+    def _self_attr_pools(self, tree: ast.Module) -> Dict[str, str]:
+        pools: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Attribute):
+                    kind = self._pool_kind(node.value, set())
+                    if kind is not None:
+                        pools[_dotted(target)] = kind
+        return pools
+
+    def _local_env(self, scope, factories: Set[str]) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        for node in walk_own(scope.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                kind = self._pool_kind(node.value, factories)
+                if kind is not None:
+                    env[node.targets[0].id] = kind
+        return env
+
+    def _check_submit(self, module, scope, call: ast.Call, env,
+                      module_defs, nested_defs):
+        if call.args:
+            yield from self._check_callable(
+                module, scope, call.args[0], module_defs, nested_defs)
+        for arg in list(call.args[1:]) + \
+                [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, (ast.Lambda, ast.GeneratorExp)):
+                    label = "lambda" \
+                        if isinstance(sub, ast.Lambda) else "generator"
+                    yield self.finding(
+                        module, sub.lineno, sub.col_offset,
+                        f"{label} passed as a process-pool argument "
+                        f"in `{scope.qualname}` cannot be pickled; "
+                        f"pass primitives or frozen dataclasses")
+
+    def _check_callable(self, module, scope, arg: ast.AST,
+                        module_defs, nested_defs,
+                        _depth: int = 0):
+        qualname = scope.qualname if scope else "<module>"
+        if isinstance(arg, ast.Lambda):
+            yield self.finding(
+                module, arg.lineno, arg.col_offset,
+                f"lambda submitted to a process pool in `{qualname}` "
+                f"cannot be pickled; use a top-level `def`")
+            return
+        if isinstance(arg, ast.Attribute):
+            if _root_name(arg) == "self":
+                yield self.finding(
+                    module, arg.lineno, arg.col_offset,
+                    f"bound method `{_dotted(arg)}` submitted to a "
+                    f"process pool in `{qualname}` pickles the whole "
+                    f"instance; use a top-level `def`")
+            return
+        if not isinstance(arg, ast.Name) or _depth > 4:
+            return
+        if arg.id in nested_defs and arg.id not in module_defs:
+            yield self.finding(
+                module, arg.lineno, arg.col_offset,
+                f"`{arg.id}` submitted to a process pool in "
+                f"`{qualname}` is a nested function (closure) and is "
+                f"not import-resolvable in the worker; move it to "
+                f"module level")
+            return
+        if arg.id in module_defs or scope is None:
+            return
+        # resolve through local single-assignment bindings, including
+        # the `run_one = traced if cond else plain` shape
+        for node in walk_own(scope.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == arg.id:
+                value = node.value
+                branches = [value.body, value.orelse] \
+                    if isinstance(value, ast.IfExp) else [value]
+                for branch in branches:
+                    if isinstance(branch, (ast.Name, ast.Lambda,
+                                           ast.Attribute)):
+                        yield from self._check_callable(
+                            module, scope, branch, module_defs,
+                            nested_defs, _depth + 1)
+
+    def _check_runner(self, module, scope, arg: ast.AST,
+                      module_defs, nested_defs):
+        qualname = scope.qualname if scope else "<module>"
+        if isinstance(arg, ast.Lambda):
+            yield self.finding(
+                module, arg.lineno, arg.col_offset,
+                f"lambda registered as a task runner in `{qualname}` "
+                f"cannot be pickled; use a top-level `def`")
+        elif isinstance(arg, ast.Name) and arg.id in nested_defs \
+                and arg.id not in module_defs:
+            yield self.finding(
+                module, arg.lineno, arg.col_offset,
+                f"nested function `{arg.id}` registered as a task "
+                f"runner in `{qualname}` is not import-resolvable in "
+                f"pool workers; move it to module level")
+        elif isinstance(arg, ast.Attribute) and _root_name(arg) == \
+                "self":
+            yield self.finding(
+                module, arg.lineno, arg.col_offset,
+                f"bound method `{_dotted(arg)}` registered as a task "
+                f"runner in `{qualname}`; use a top-level `def`")
+
+
+# ---- R011 ----------------------------------------------------------------
+
+_CONTEXT_READERS = ("current_request", "current_request_id")
+
+_SANCTIONED = ("request_scope", "to_wire", "merge_wire")
+
+
+@register
+class ContextvarHygieneRule(Rule):
+    """R011: contextvars do not cross the executor boundary.
+
+    ``contextvars`` propagate into threads (via ``run_in_executor``'s
+    context copy) but **not** into pool processes — a worker reading
+    ``current_request()`` gets the child interpreter's empty default,
+    so traces silently detach.  The sanctioned channels are explicit:
+    serialize with ``to_wire`` before submit, re-establish with
+    ``request_scope(task.tags[0])`` inside the worker.  Worker-side
+    functions are identified structurally: first arguments of
+    process-pool ``submit`` calls, ``register_task_kind`` runners, and
+    the values of module-level ``*_RUNNERS`` dispatch tables.  The
+    check is local to the worker function body (it does not chase
+    calls into other modules).
+    """
+
+    id = "R011"
+    title = "contextvar read across an executor boundary"
+    severity = Severity.ERROR
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return "ProcessPoolExecutor" in module.source or \
+            "register_task_kind" in module.source or \
+            "_RUNNERS" in module.source
+
+    def check_module(self, module: ParsedModule,
+                     facts: ModelFacts) -> Iterable[Finding]:
+        scopes = module.function_scopes()
+        worker_names = self._worker_names(module, scopes)
+        if not worker_names:
+            return
+        contextvars = {
+            stmt.targets[0].id
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and _dotted(stmt.value.func).split(".")[-1] == "ContextVar"
+        }
+        for scope in scopes.functions:
+            if scope.parent is not None or \
+                    scope.name not in worker_names:
+                continue
+            for node in ast.walk(scope.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                tail = _dotted(node.func).split(".")[-1]
+                if tail in _CONTEXT_READERS:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"worker function `{scope.qualname}` reads "
+                        f"the request contextvar via `{tail}()`; "
+                        f"contextvars do not cross the process "
+                        f"boundary — re-establish with "
+                        f"`request_scope(task.tags[0])` or pass state "
+                        f"through `to_wire`")
+                elif isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "get" and \
+                        isinstance(node.func.value, ast.Name) and \
+                        node.func.value.id in contextvars:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"worker function `{scope.qualname}` reads "
+                        f"contextvar `{node.func.value.id}` directly; "
+                        f"it is empty in pool workers — use "
+                        f"`request_scope`/`to_wire` instead")
+
+    def _worker_names(self, module: ParsedModule, scopes) -> Set[str]:
+        names: Set[str] = set()
+        # *_RUNNERS dispatch tables
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and stmt.targets[0].id.endswith("_RUNNERS") \
+                    and isinstance(stmt.value, ast.Dict):
+                for value in stmt.value.values:
+                    if isinstance(value, ast.Name):
+                        names.add(value.id)
+        for scope in scopes.functions:
+            for node in walk_own(scope.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "submit" and node.args:
+                    names.update(self._resolve_names(
+                        scope, node.args[0]))
+                elif _dotted(node.func).split(".")[-1] == \
+                        "register_task_kind" and len(node.args) >= 2 \
+                        and isinstance(node.args[1], ast.Name):
+                    names.add(node.args[1].id)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and \
+                    scopes.scope_of(node) is None and \
+                    _dotted(node.func).split(".")[-1] == \
+                    "register_task_kind" and len(node.args) >= 2 and \
+                    isinstance(node.args[1], ast.Name):
+                names.add(node.args[1].id)
+        return names
+
+    def _resolve_names(self, scope, arg: ast.AST) -> Set[str]:
+        if not isinstance(arg, ast.Name):
+            return set()
+        resolved = {arg.id}
+        for node in walk_own(scope.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == arg.id:
+                value = node.value
+                branches = [value.body, value.orelse] \
+                    if isinstance(value, ast.IfExp) else [value]
+                for branch in branches:
+                    if isinstance(branch, ast.Name):
+                        resolved.add(branch.id)
+        return resolved

@@ -37,11 +37,20 @@ class ParsedModule:
     source: str
     lines: List[str]
     tree: ast.Module
+    _scopes: Optional[object] = None
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    def function_scopes(self):
+        """Lazily built :class:`repro.lint.cfg.ModuleScopes` for this
+        module, shared by every rule that needs qualname attribution."""
+        if self._scopes is None:
+            from .cfg import collect_scopes
+            self._scopes = collect_scopes(self.tree)
+        return self._scopes
 
 
 class Rule:
@@ -91,7 +100,8 @@ def register(cls: type) -> type:
 
 
 def default_rules() -> List[Rule]:
-    # importing the rules module populates the registry
+    # importing the rule modules populates the registry
+    from . import concurrency as _concurrency  # noqa: F401
     from . import rules as _rules  # noqa: F401
     return [cls() for cls in _RULE_REGISTRY]
 

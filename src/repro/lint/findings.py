@@ -14,6 +14,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..errors import LintUsageError
+
 
 class Severity(enum.IntEnum):
     """Ordered severity; exit-code thresholds compare on the int value."""
@@ -27,7 +29,7 @@ class Severity(enum.IntEnum):
         try:
             return cls[text.upper()]
         except KeyError:
-            raise ValueError(  # grandfathered in lint-baseline.json
+            raise LintUsageError(
                 f"unknown severity {text!r}; "
                 f"choose from {[s.name.lower() for s in cls]}") from None
 

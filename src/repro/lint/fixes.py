@@ -1,20 +1,43 @@
 """Automatic fixes for the (few) findings with a provably safe rewrite.
 
 Only mechanical, semantics-preserving-or-strengthening rewrites belong
-here; today that is exactly one: ``except:`` -> ``except Exception:``
-(strictly narrower — stops swallowing KeyboardInterrupt/SystemExit).
-Everything else the linter reports needs human judgment.
+here; everything else the linter reports needs human judgment.  Three
+rules have fixers today, each gated behind ``--fix-rule``:
+
+* R004 — ``except:`` -> ``except Exception:`` (strictly narrower —
+  stops swallowing KeyboardInterrupt/SystemExit).  The only fixer in
+  the default set.
+* R005 — mutable default argument -> ``None`` sentinel plus an
+  ``if <param> is None:`` guard after the docstring.  AST-guided: the
+  default node is located by the finding's exact span, so the rewrite
+  never fires on a stale line.
+* R007 — ``time.sleep(...)`` -> ``await asyncio.sleep(...)``.  Only
+  applied when R007 produced the finding (so the call is known to sit
+  in an ``async def``), the call starts its statement line, and the
+  file already imports asyncio.
+
+Every fixer is idempotent: once applied, the rule stops firing, so a
+second ``--fix`` pass is a no-op.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import LintUsageError
 from .findings import Finding
 
+#: rules fixed by a bare ``--fix`` (the rest need ``--fix-rule``)
+DEFAULT_FIX_RULES = ("R004",)
+
 _BARE_EXCEPT_RE = re.compile(r"(?P<head>\bexcept)\s*:")
+
+_ASYNCIO_IMPORT_RE = re.compile(
+    r"^\s*(?:import\s+asyncio\b|from\s+asyncio\s+import\b)",
+    re.MULTILINE)
 
 
 def fix_bare_except(line: str) -> str:
@@ -22,32 +45,145 @@ def fix_bare_except(line: str) -> str:
     return _BARE_EXCEPT_RE.sub(r"\g<head> Exception:", line, count=1)
 
 
-def apply_fixes(findings: Sequence[Finding],
-                root: Path) -> List[Finding]:
+def _fix_r004(path: Path, finding: Finding) -> bool:
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    idx = finding.line - 1
+    if not 0 <= idx < len(lines):
+        return False
+    new = fix_bare_except(lines[idx])
+    if new == lines[idx]:
+        return False
+    lines[idx] = new
+    path.write_text("".join(lines), encoding="utf-8")
+    return True
+
+
+def fix_time_sleep(line: str, col: int) -> str:
+    """``time.sleep(...)`` -> ``await asyncio.sleep(...)`` at ``col``.
+
+    Only rewrites a call that *starts* its statement line (anything
+    left of it defeats the ``await`` insertion); callers must already
+    know the call sits in an async function.
+    """
+    if not line[col:].startswith("time.sleep("):
+        return line
+    if line[:col].strip():
+        return line
+    return line[:col] + "await asyncio." + line[col + len("time."):]
+
+
+def _fix_r007(path: Path, finding: Finding) -> bool:
+    text = path.read_text(encoding="utf-8")
+    if not _ASYNCIO_IMPORT_RE.search(text):
+        return False            # would introduce a NameError
+    lines = text.splitlines(keepends=True)
+    idx = finding.line - 1
+    if not 0 <= idx < len(lines):
+        return False
+    new = fix_time_sleep(lines[idx], finding.col)
+    if new == lines[idx]:
+        return False
+    lines[idx] = new
+    path.write_text("".join(lines), encoding="utf-8")
+    return True
+
+
+def _locate_default(tree: ast.Module, line: int, col: int
+                    ) -> Optional[Tuple[ast.AST, str, ast.expr]]:
+    """(function, param name, default node) at an exact span."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        pairs = list(zip(positional[len(positional)
+                                    - len(args.defaults):],
+                         args.defaults))
+        pairs += [(a, d) for a, d in zip(args.kwonlyargs,
+                                         args.kw_defaults)
+                  if d is not None]
+        for arg, default in pairs:
+            if default.lineno == line and default.col_offset == col:
+                return node, arg.arg, default
+    return None
+
+
+def _fix_r005(path: Path, finding: Finding) -> bool:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return False
+    located = _locate_default(tree, finding.line, finding.col)
+    if located is None:
+        return False
+    func, param, default = located
+    if default.lineno != default.end_lineno:
+        return False            # multi-line default: human judgment
+    original = ast.get_source_segment(source, default)
+    if original is None:
+        return False
+
+    lines = source.splitlines(keepends=True)
+    dline = lines[default.lineno - 1]
+    lines[default.lineno - 1] = (dline[:default.col_offset] + "None"
+                                 + dline[default.end_col_offset:])
+
+    body = func.body
+    has_docstring = (isinstance(body[0], ast.Expr)
+                     and isinstance(body[0].value, ast.Constant)
+                     and isinstance(body[0].value.value, str))
+    if has_docstring and len(body) > 1:
+        insert_at, indent_col = body[1].lineno - 1, body[1].col_offset
+    elif has_docstring:
+        insert_at = body[0].end_lineno or body[0].lineno
+        indent_col = body[0].col_offset
+    else:
+        insert_at, indent_col = body[0].lineno - 1, body[0].col_offset
+    indent = " " * indent_col
+    lines.insert(insert_at,
+                 f"{indent}if {param} is None:\n"
+                 f"{indent}    {param} = {original}\n")
+    path.write_text("".join(lines), encoding="utf-8")
+    return True
+
+
+_FIXERS = {
+    "R004": _fix_r004,
+    "R005": _fix_r005,
+    "R007": _fix_r007,
+}
+
+
+def apply_fixes(findings: Sequence[Finding], root: Path,
+                rules: Optional[Sequence[str]] = None) -> List[Finding]:
     """Apply safe fixes in place; returns the findings actually fixed.
 
     ``root`` is the directory the package-relative finding paths are
-    anchored at (the parent of the ``repro`` package).
+    anchored at (the parent of the ``repro`` package).  ``rules``
+    selects which fixers run (default :data:`DEFAULT_FIX_RULES`); an
+    unknown rule id raises :class:`~repro.errors.LintUsageError`.
     """
+    selected = tuple(rules) if rules is not None else DEFAULT_FIX_RULES
+    unknown = sorted(set(selected) - set(_FIXERS))
+    if unknown:
+        raise LintUsageError(
+            f"no fixer for rule(s) {', '.join(unknown)}; "
+            f"fixable rules: {', '.join(sorted(_FIXERS))}")
+
     by_file: Dict[str, List[Finding]] = {}
     for finding in findings:
-        if finding.fixable:
+        if finding.fixable and finding.rule in selected:
             by_file.setdefault(finding.path, []).append(finding)
 
     fixed: List[Finding] = []
     for relpath, file_findings in sorted(by_file.items()):
         path = Path(root) / relpath
-        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
-        changed = False
-        for finding in file_findings:
-            idx = finding.line - 1
-            if not 0 <= idx < len(lines):
-                continue
-            new = fix_bare_except(lines[idx])
-            if new != lines[idx]:
-                lines[idx] = new
+        # descending source order keeps earlier spans valid: every
+        # rewrite only touches text at or after its own finding
+        for finding in sorted(file_findings,
+                              key=lambda f: (f.line, f.col),
+                              reverse=True):
+            if _FIXERS[finding.rule](path, finding):
                 fixed.append(finding)
-                changed = True
-        if changed:
-            path.write_text("".join(lines), encoding="utf-8")
     return fixed

@@ -45,11 +45,15 @@ def render_json(result: LintResult, *,
                 threshold: Optional[Severity] = None) -> str:
     """Machine-readable report (stable schema, see tests)."""
     threshold = threshold if threshold is not None else Severity.WARNING
+    by_rule: Dict[str, int] = {}
+    for finding in result.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "tool": "repro.lint",
         "files_checked": result.files_checked,
         "counts": _counts(result.findings),
+        "by_rule": dict(sorted(by_rule.items())),
         "baselined": len(result.baselined),
         "exit_code": 1 if result.count_at_least(threshold) else 0,
         "findings": [f.as_dict() for f in result.findings],

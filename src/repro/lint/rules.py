@@ -11,13 +11,17 @@ reproducible):
 * R002 — the component inventory is a total, disjoint partition of the
   event space over real clock-gating units and known categories;
 * R003 — model code (``repro.core``, ``repro.power``, ``repro.pm``,
-  ``repro.exec``) is deterministic: no wall clocks, no unseeded
-  randomness, no iteration over unordered sets;
+  ``repro.exec``, and — since PR 7 — ``repro.serve`` minus named
+  wall-clock allowances) is deterministic: no wall clocks, no
+  unseeded randomness, no iteration over unordered sets;
 * R004 — library errors go through the ``repro.errors`` taxonomy;
 * R005 — simulator configs are frozen dataclasses and no function has
   a mutable default argument;
 * R006 — metric names used in ``obs`` wiring are declared once in
   ``WELL_KNOWN_METRICS`` with the right kind.
+
+The concurrency tier (R007-R011) lives in
+:mod:`repro.lint.concurrency`.
 """
 
 from __future__ import annotations
@@ -277,16 +281,18 @@ class DeterminismRule(Rule):
     displays/calls (Python set order is not deterministic across
     processes) unless wrapped in ``sorted(...)``.
 
-    Deliberate carve-outs (``SCOPES`` below is the whole policy): the
-    observability layer (``repro.obs``) measures wall time by design,
-    and the serving layer (``repro.serve``, PR 5) is *built from*
-    non-deterministic primitives — token-bucket refill clocks, request
-    latency measurement, socket readiness, client backoff jitter.
-    Determinism there is enforced at the Engine boundary instead: every
-    task the service submits is a pure function of its payload, and
-    ``tests/test_serve.py`` asserts batched responses are bit-identical
-    to direct serial runs.  R001/R004/R005/R006 still apply to
-    ``repro.serve`` in full.
+    Scope policy (revised in PR 7): the observability layer
+    (``repro.obs``) measures wall time by design and stays exempt, but
+    the serving layer is now *in* scope — the old blanket
+    ``repro/serve/`` carve-out is retired in favour of
+    ``WALL_CLOCK_ALLOWANCES``, a table of *named functions* that
+    legitimately touch wall clocks or jitter RNGs (latency
+    measurement, queue-wait accounting, client backoff), each with a
+    one-line justification.  Everything else in ``repro.serve`` must
+    be deterministic; the concurrency tier (R007-R011,
+    :mod:`repro.lint.concurrency`) plus the runtime sanitizer cover
+    what a static clock ban cannot.  Allowances excuse *calls* only —
+    banned imports and unordered-set iteration are never excused.
     """
 
     id = "R003"
@@ -294,15 +300,50 @@ class DeterminismRule(Rule):
     severity = Severity.ERROR
 
     SCOPES = ("repro/core/", "repro/power/", "repro/pm/",
-              "repro/exec/")
+              "repro/exec/", "repro/serve/")
+
+    #: relpath -> {function qualname: justification}.  The only wall
+    #: clock/RNG escape hatch in scoped code; every entry must say why
+    #: the measurement is inherently wall-clock (these feed latency
+    #: telemetry, never model results).
+    WALL_CLOCK_ALLOWANCES: Dict[str, Dict[str, str]] = {
+        "repro/serve/batcher.py": {
+            "MicroBatcher.submit":
+                "queue-wait vs service split for SLO accounting",
+            "MicroBatcher._run_batch":
+                "batch service-time measurement for SLO accounting",
+        },
+        "repro/serve/server.py": {
+            "ReproServer._dispatch":
+                "end-to-end request latency for access log + metrics",
+        },
+        "repro/serve/client.py": {
+            "ServeClient.__post_init__":
+                "seeded jitter RNG for retry backoff (seed is in the "
+                "client config, so tests stay reproducible)",
+            "ServeClient._once":
+                "client-side latency measurement",
+        },
+        "repro/serve/loadgen.py": {
+            "run_loadgen":
+                "open-loop pacing and wall-clock throughput",
+            "run_loadgen._fire":
+                "per-request latency measurement",
+        },
+    }
 
     def applies_to(self, module: ParsedModule) -> bool:
         return module.relpath.startswith(self.SCOPES)
 
     def check_module(self, module: ParsedModule,
                      facts: ModelFacts) -> Iterable[Finding]:
+        allowed = self.WALL_CLOCK_ALLOWANCES.get(module.relpath, {})
+        scopes = module.function_scopes() if allowed else None
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
+                if scopes is not None \
+                        and scopes.qualname_of(node) in allowed:
+                    continue
                 yield from self._check_call(module, node)
             elif isinstance(node, ast.ImportFrom):
                 yield from self._check_import(module, node)
@@ -488,7 +529,8 @@ class ConfigHygieneRule(Rule):
                 yield self.finding(
                     module, default.lineno, default.col_offset,
                     f"mutable default argument in {name}() is shared "
-                    f"across calls — default to None and create inside")
+                    f"across calls — default to None and create inside",
+                    fixable=not isinstance(node, ast.Lambda))
 
 
 @register

@@ -7,11 +7,18 @@ engine.  :mod:`server` owns the asyncio HTTP front end and lifecycle,
 :mod:`client` is the sync client, :mod:`loadgen` the deterministic
 open-loop load generator behind ``repro loadgen``.
 
-This package sits deliberately *outside* the R003 determinism scopes
-(see ``repro/lint/rules.py``): wall clocks and sockets are what a
-service is made of.  Determinism lives behind the Engine boundary, and
-the batcher's bit-identity guarantee (batched == direct serial runs)
-is what keeps the service honest about it.
+Since PR 7 this package is *inside* the R003 determinism scope: only
+the named functions in ``WALL_CLOCK_ALLOWANCES`` (see
+``repro/lint/rules.py``) may touch wall clocks or jitter RNGs, each
+with a one-line justification — everything else here must be
+deterministic.  The concurrency tier (R007-R011 in
+``repro/lint/concurrency.py``) proves the async/multiprocess safety
+contracts statically, and the runtime sanitizer (``repro serve
+--sanitize`` / ``REPRO_SANITIZE=1``) watches the dynamic residue:
+loop blocking, lost futures, and cross-run response divergence.
+Determinism lives behind the Engine boundary, and the batcher's
+bit-identity guarantee (batched == direct serial runs) is what keeps
+the service honest about it.
 """
 
 from .admission import AdmissionController, Decision, ProxyFastPath, \

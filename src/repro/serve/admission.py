@@ -9,11 +9,15 @@ budget is *degraded* to a power-proxy fast-path answer (marked
 requests with no proxy equivalent (fault injection) are rejected
 outright, with a ``Retry-After`` hint.
 
-This module lives in the deliberate R003 determinism carve-out: wall
-clocks (token-bucket refill) are legitimate in the service layer.
-Determinism lives behind the Engine boundary — degraded answers are
-themselves deterministic (seeded tiny calibration runs + a fitted
-proxy design), only *which* requests get degraded depends on load.
+This module is in the R003 determinism scope like the rest of the
+serve layer (the old blanket carve-out was retired in PR 7); the
+token bucket takes its clock readings as *arguments* from the named
+``WALL_CLOCK_ALLOWANCES`` call sites rather than reading wall clocks
+itself.  Determinism lives behind the Engine boundary — degraded
+answers are themselves deterministic (seeded tiny calibration runs +
+a fitted proxy design), only *which* requests get degraded depends on
+load, which is why the sanitizer's double-run diff excuses degraded
+rows.
 """
 
 from __future__ import annotations

@@ -33,6 +33,30 @@ from ..obs.context import current_request
 from ..obs.metrics import get_registry
 
 
+#: the one attribute :func:`detach_future` stamps on a waiter future
+_DETACH_ATTR = "_repro_meta"
+
+
+def detach_future(fut: "asyncio.Future", batch_start_ns: int,
+                  source: Optional[str] = None) -> None:
+    """Stamp batch metadata on a future the batcher is about to settle.
+
+    This is the *single* sanctioned place where serve code writes a
+    private attribute on a future it did not create: the batch runner
+    hands ``(batch_start_ns, source)`` to every waiter (including
+    single-flight joiners) so their request contexts can split
+    queue-wait from service time.  R009 allowlists exactly this
+    helper by name — ad-hoc ``fut._repro_meta = ...`` stamps anywhere
+    else are lint errors.
+    """
+    fut._repro_meta = (batch_start_ns, source)
+
+
+def future_meta(fut: "asyncio.Future"):
+    """The ``(batch_start_ns, source)`` stamp, or ``(None, None)``."""
+    return getattr(fut, _DETACH_ATTR, (None, None))
+
+
 def _mark_retrieved(fut: "asyncio.Future") -> None:
     # A waiter that timed out (deadline) abandons its shielded future;
     # touching the exception here keeps asyncio from logging
@@ -103,14 +127,12 @@ class MicroBatcher:
         finally:
             ctx = current_request()
             if ctx is not None:
-                # _run_batch stamps (batch_start_ns, source) before it
-                # settles the future; joiners read the same stamp
-                meta = getattr(fut, "_repro_meta", None)
-                ctx.note_result(
-                    submit_ns,
-                    meta[0] if meta else None,
-                    time.perf_counter_ns(),
-                    meta[1] if meta else None)
+                # _run_batch stamps (batch_start_ns, source) via
+                # detach_future before it settles; joiners read the
+                # same stamp
+                batch_start_ns, source = future_meta(fut)
+                ctx.note_result(submit_ns, batch_start_ns,
+                                time.perf_counter_ns(), source)
 
     async def _run_loop(self) -> None:
         while True:
@@ -154,14 +176,14 @@ class MicroBatcher:
             for task in batch:
                 fut = self._inflight.pop(task.key, None)
                 if fut is not None and not fut.done():
-                    fut._repro_meta = (batch_start_ns, None)
+                    detach_future(fut, batch_start_ns)
                     fut.set_exception(exc)
         else:
             for task, result in zip(batch, results):
                 fut = self._inflight.pop(task.key, None)
                 if fut is not None and not fut.done():
-                    fut._repro_meta = (batch_start_ns,
-                                       sources.get(task.key))
+                    detach_future(fut, batch_start_ns,
+                                  sources.get(task.key))
                     fut.set_result(result)
 
     async def drain(self, timeout_s: float = 5.0) -> bool:

@@ -36,6 +36,7 @@ tracks model numbers.
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import json
 import time
 from dataclasses import dataclass
@@ -112,6 +113,13 @@ def build_schedule(config: LoadgenConfig,
     return schedule
 
 
+def _digest(value: object) -> str:
+    """Canonical short digest of a JSON-serializable value."""
+    return hashlib.sha256(
+        json.dumps(value, sort_keys=True, default=str)
+        .encode("utf-8")).hexdigest()[:16]
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (q in [0, 100]) of pre-sorted values."""
     if not sorted_values:
@@ -174,6 +182,11 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
         stats["latencies"].append(resp.latency_s)
         row["latency_s"] = round(resp.latency_s, 6)
         row["status"] = resp.status
+        # ordering-sensitive identity for the sanitizer's double-run
+        # diff: the same request id must produce the same body bytes
+        row["body_sha"] = _digest(resp.body)
+        if isinstance(resp.body, dict) and "result" in resp.body:
+            row["result_sha"] = _digest(resp.body["result"])
         if resp.ok:
             ok += 1
             stats["ok"] += 1

@@ -142,6 +142,14 @@ class ReproServer:
             await asyncio.to_thread(self.fastpath.warm)
         self._access_log = open_access_log(cfg.access_log)
         await self.batcher.start()
+        # when the concurrency sanitizer is active, route loop-level
+        # failures (never-retrieved futures, destroyed pending tasks)
+        # through its classifier (lazy import: lint is optional here)
+        from ..lint.sanitizer import get_sanitizer
+        sanitizer = get_sanitizer()
+        if sanitizer is not None:
+            asyncio.get_running_loop().set_exception_handler(
+                sanitizer.loop_exception_handler)
         self._server = await asyncio.start_server(
             self._handle_conn, cfg.host, cfg.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -628,7 +636,13 @@ def run_server(config: ServeConfig) -> int:
 
 
 class ServerHandle:
-    """A server running on its own thread (tests, ``--self-serve``)."""
+    """A server running on its own thread (tests, ``--self-serve``).
+
+    The handle owns its whole lifecycle: :meth:`start` spins up the
+    thread and event loop and only ever writes the handle's *own*
+    state (the old module-level ``start_in_thread`` stamped private
+    attributes onto a foreign handle — the shape R009 now rejects).
+    """
 
     def __init__(self) -> None:
         self.port: Optional[int] = None
@@ -641,6 +655,35 @@ class ServerHandle:
     @property
     def url(self) -> str:
         return f"http://127.0.0.1:{self.port}"
+
+    def start(self, config: ServeConfig, timeout_s: float = 60.0) -> None:
+        """Start the server thread; returns once it is listening."""
+        started = threading.Event()
+
+        async def _main() -> None:
+            server = ReproServer(config)
+            try:
+                await server.start()
+            except BaseException as exc:  # noqa: BLE001 - to caller
+                self.error = exc
+                started.set()
+                return
+            self.port = server.port
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+            started.set()
+            await self._stop_event.wait()
+            self.clean = await server.stop()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(_main()),
+            name="repro-serve", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=timeout_s):
+            raise ServeError(
+                f"server did not start within {timeout_s:.0f}s")
+        if self.error is not None:
+            raise self.error
 
     def stop(self, timeout_s: float = 30.0) -> bool:
         """Request drain and join the server thread."""
@@ -657,31 +700,6 @@ class ServerHandle:
 
 def start_in_thread(config: Optional[ServeConfig] = None) -> ServerHandle:
     """Start a server on a background thread; returns once it listens."""
-    config = config if config is not None else ServeConfig()
     handle = ServerHandle()
-    started = threading.Event()
-
-    async def _main() -> None:
-        server = ReproServer(config)
-        try:
-            await server.start()
-        except BaseException as exc:    # noqa: BLE001 - reported to caller
-            handle.error = exc
-            started.set()
-            return
-        handle.port = server.port
-        handle._loop = asyncio.get_running_loop()
-        handle._stop_event = asyncio.Event()
-        started.set()
-        await handle._stop_event.wait()
-        handle.clean = await server.stop()
-
-    thread = threading.Thread(target=lambda: asyncio.run(_main()),
-                              name="repro-serve", daemon=True)
-    handle._thread = thread
-    thread.start()
-    if not started.wait(timeout=60.0):
-        raise ServeError("server did not start within 60s")
-    if handle.error is not None:
-        raise handle.error
+    handle.start(config if config is not None else ServeConfig())
     return handle

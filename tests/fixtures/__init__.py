@@ -1,0 +1,1 @@
+"""Test fixture data packages (not collected as tests)."""

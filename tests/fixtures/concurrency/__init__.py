@@ -1,0 +1,31 @@
+"""Known-bad concurrency fixtures, one file per rule (R007-R011).
+
+Each module is a minimal program that violates exactly one concurrency
+contract, exactly once, and nothing else — the tests in
+``test_lint_concurrency.py`` lint each file under a virtual
+``repro/serve/`` relpath and assert the matching rule fires precisely
+one finding (and that no *other* rule fires), so a detector regression
+in either direction breaks a test.
+
+The files are real importable Python (nothing here is executed), kept
+out of the lint engine's package root so the live-tree meta-test stays
+clean.
+"""
+
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+
+#: rule id -> fixture file name
+BAD_FIXTURES = {
+    "R007": "bad_r007.py",
+    "R008": "bad_r008.py",
+    "R009": "bad_r009.py",
+    "R010": "bad_r010.py",
+    "R011": "bad_r011.py",
+}
+
+
+def load(rule: str) -> str:
+    """Source text of the known-bad fixture for ``rule``."""
+    return (FIXTURE_DIR / BAD_FIXTURES[rule]).read_text(encoding="utf-8")

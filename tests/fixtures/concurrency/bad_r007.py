@@ -1,0 +1,15 @@
+"""Known-bad for R007: a synchronous sleep inside an async def.
+
+The ``time.sleep`` call on the flagged line stalls the whole event
+loop; the fix is ``await asyncio.sleep(...)`` (which the R007 autofix
+performs).  Exactly one violation.
+"""
+
+import asyncio
+import time
+
+
+async def handler(payload):
+    time.sleep(0.25)  # <-- R007: blocks every in-flight request
+    await asyncio.sleep(0)
+    return payload

@@ -1,0 +1,14 @@
+"""Known-bad for R008: a task that leaks on one branch.
+
+The task is awaited only when ``follow`` is truthy; on the other
+branch it reaches the function exit untouched, so exceptions inside
+``work()`` surface only at garbage collection.  Exactly one violation.
+"""
+
+import asyncio
+
+
+async def kick(work, follow):
+    task = asyncio.create_task(work())  # <-- R008: leaks when not follow
+    if follow:
+        await task

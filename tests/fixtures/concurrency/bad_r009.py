@@ -1,0 +1,13 @@
+"""Known-bad for R009: a foreign private-attribute write.
+
+``stamp`` writes ``fut._meta`` on a future it does not own — the
+ad-hoc shape the sanctioned ``detach_future`` helper replaced.
+Exactly one violation.
+"""
+
+import asyncio
+
+
+def stamp(fut, meta):
+    fut._meta = meta  # <-- R009: foreign private write
+    return asyncio.isfuture(fut)

@@ -1,0 +1,15 @@
+"""Known-bad for R010: a lambda submitted to a process pool.
+
+``ProcessPoolExecutor`` pickles the callable by reference; a lambda
+fails at submit time with a pickling error that points nowhere near
+the bug.  Exactly one violation (the future itself is consumed, so
+R008 stays quiet).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_batch(payload):
+    pool = ProcessPoolExecutor(max_workers=1)
+    fut = pool.submit(lambda: payload + 1)  # <-- R010: unpicklable
+    return fut.result()

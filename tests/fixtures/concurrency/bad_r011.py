@@ -1,0 +1,23 @@
+"""Known-bad for R011: a pool worker reading a contextvar directly.
+
+``worker`` runs in a child process where ``_REQUEST`` holds the empty
+default — the read silently detaches the trace instead of failing.
+The sanctioned channels are ``to_wire`` before submit and
+``request_scope(task.tags[0])`` inside the worker.  Exactly one
+violation.
+"""
+
+import contextvars
+from concurrent.futures import ProcessPoolExecutor
+
+_REQUEST = contextvars.ContextVar("request", default=None)
+
+
+def worker(payload):
+    return (_REQUEST.get(), payload)  # <-- R011: empty in pool workers
+
+
+def run(payload):
+    pool = ProcessPoolExecutor(max_workers=1)
+    fut = pool.submit(worker, payload)
+    return fut.result()

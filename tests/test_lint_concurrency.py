@@ -1,0 +1,833 @@
+"""Tests for the concurrency lint tier (R007-R011) and its runtime
+counterpart, the concurrency sanitizer.
+
+Three layers:
+
+* **CFG/scopes** — unit tests for :mod:`repro.lint.cfg` (qualnames,
+  block structure, await points, the ``leaks_to_exit`` query);
+* **rules** — every rule fires *exactly once* on its known-bad fixture
+  in ``tests/fixtures/concurrency/`` (and no other concurrency rule
+  cross-fires), plus in-memory good/bad variants per detector;
+* **sanitizer** — loop-block timing, exception-handler classification,
+  cross-process digest pinning, and the double-run diff policy.
+
+The meta-test at the bottom holds the live tree to zero findings under
+R007-R011 specifically.
+"""
+
+import ast
+import asyncio
+import json
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import LintUsageError
+from repro.lint import LintEngine, Severity
+from repro.lint.cfg import (EXIT, build_cfg, collect_scopes,
+                            leaks_to_exit, walk_own)
+from repro.lint.fixes import apply_fixes, fix_time_sleep
+from repro.lint.sanitizer import (ConcurrencySanitizer, diff_double_run,
+                                  get_sanitizer, sanitize_enabled,
+                                  sanitized)
+
+from tests.fixtures.concurrency import BAD_FIXTURES, FIXTURE_DIR, load
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+CONCURRENCY_RULES = ("R007", "R008", "R009", "R010", "R011")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine(package_root=PACKAGE_ROOT)
+
+
+def lint(engine, source, relpath="repro/serve/_fixture.py", rule=None):
+    found = engine.lint_source(textwrap.dedent(source), relpath)
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+# ---- scopes ---------------------------------------------------------------
+
+class TestScopes:
+    SRC = textwrap.dedent('''\
+        import asyncio
+
+        class MicroBatcher:
+            async def submit(self, task):
+                def _done(fut):
+                    return fut
+                return _done
+
+        def run_loadgen(cfg):
+            async def _fire(i):
+                return i
+            return _fire
+        ''')
+
+    def test_qualnames(self):
+        scopes = collect_scopes(ast.parse(self.SRC))
+        names = {s.qualname for s in scopes.functions}
+        assert names == {"MicroBatcher.submit",
+                         "MicroBatcher.submit._done",
+                         "run_loadgen", "run_loadgen._fire"}
+
+    def test_asyncness_and_class(self):
+        scopes = collect_scopes(ast.parse(self.SRC))
+        by_name = {s.qualname: s for s in scopes.functions}
+        assert by_name["MicroBatcher.submit"].is_async
+        assert by_name["MicroBatcher.submit"].class_name == "MicroBatcher"
+        assert not by_name["run_loadgen"].is_async
+        assert by_name["run_loadgen._fire"].is_async
+
+    def test_methods_are_not_nested(self):
+        # ClassDef adds a qualname prefix but not a closure scope
+        scopes = collect_scopes(ast.parse(self.SRC))
+        by_name = {s.qualname: s for s in scopes.functions}
+        assert by_name["MicroBatcher.submit"].parent is None
+        assert by_name["MicroBatcher.submit._done"].parent is not None
+
+    def test_node_attribution(self):
+        tree = ast.parse(self.SRC)
+        scopes = collect_scopes(tree)
+        returns = [n for n in ast.walk(tree) if isinstance(n, ast.Return)]
+        owners = {scopes.qualname_of(n) for n in returns}
+        assert owners == {"MicroBatcher.submit._done",
+                          "MicroBatcher.submit", "run_loadgen",
+                          "run_loadgen._fire"}
+
+    def test_walk_own_skips_nested_bodies(self):
+        tree = ast.parse(self.SRC)
+        scopes = collect_scopes(tree)
+        submit = next(s for s in scopes.functions
+                      if s.qualname == "MicroBatcher.submit")
+        owned = list(walk_own(submit.node))
+        # the nested def appears as a single node, its body does not
+        assert any(isinstance(n, ast.FunctionDef) for n in owned)
+        assert not any(isinstance(n, ast.Return)
+                       and scopes.qualname_of(n).endswith("_done")
+                       for n in owned
+                       if not isinstance(n, ast.FunctionDef))
+
+
+# ---- CFG ------------------------------------------------------------------
+
+def _first_cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    scope = collect_scopes(tree).functions[0]
+    return build_cfg(scope.node), scope.node
+
+
+class TestCfg:
+    def test_linear_single_block(self):
+        cfg, _ = _first_cfg('''\
+            def f(x):
+                y = x + 1
+                return y
+            ''')
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succ == [(EXIT, "return")]
+
+    def test_if_without_else_falls_through(self):
+        cfg, _ = _first_cfg('''\
+            def f(x):
+                if x:
+                    y = 1
+                return x
+            ''')
+        entry = cfg.block(cfg.entry)
+        kinds = {kind for _dst, kind in entry.succ}
+        assert "true" in kinds and "next" in kinds
+
+    def test_await_lines_recorded(self):
+        cfg, _ = _first_cfg('''\
+            async def f(t):
+                await t
+                x = 1
+                await t
+            ''')
+        assert cfg.await_lines == [2, 4]
+
+    def test_while_true_only_exits_via_break(self):
+        cfg, node = _first_cfg('''\
+            def f(q):
+                while True:
+                    item = q.get()
+                    if item is None:
+                        break
+                return 1
+            ''')
+        header_id, _unit = cfg.stmt_at[id(node.body[0])]
+        kinds = {kind for _dst, kind in cfg.block(header_id).succ}
+        assert "exhausted" not in kinds
+
+    def test_try_handler_edges_from_entry(self):
+        cfg, node = _first_cfg('''\
+            def f():
+                before = 1
+                try:
+                    risky()
+                except Exception:
+                    handled = 1
+                return before
+            ''')
+        entry = cfg.block(cfg.entry)
+        assert any(kind == "except" for _dst, kind in entry.succ)
+
+
+class TestLeaksToExit:
+    def _leak(self, source):
+        cfg, node = _first_cfg(source)
+        assigns = [n for n in ast.walk(node)
+                   if isinstance(n, ast.Assign)]
+        creation = assigns[0]
+        return leaks_to_exit(cfg, creation, creation.targets[0].id)
+
+    def test_awaited_is_consumed(self):
+        assert not self._leak('''\
+            async def f(w):
+                t = asyncio.create_task(w())
+                await t
+            ''')
+
+    def test_plain_leak(self):
+        assert self._leak('''\
+            async def f(w):
+                t = asyncio.create_task(w())
+                x = 1
+            ''')
+
+    def test_one_branch_leaks(self):
+        assert self._leak('''\
+            async def f(w, follow):
+                t = asyncio.create_task(w())
+                if follow:
+                    await t
+            ''')
+
+    def test_both_branches_consume(self):
+        assert not self._leak('''\
+            async def f(w, follow):
+                t = asyncio.create_task(w())
+                if follow:
+                    await t
+                else:
+                    t.cancel()
+            ''')
+
+    def test_raise_path_is_excused(self):
+        assert not self._leak('''\
+            async def f(w, bad):
+                t = asyncio.create_task(w())
+                if bad:
+                    raise RuntimeError("x")
+                await t
+            ''')
+
+    def test_stored_is_consumed(self):
+        assert not self._leak('''\
+            async def f(self, w):
+                t = asyncio.create_task(w())
+                self._tasks.append(t)
+            ''')
+
+
+# ---- bad fixtures: each rule fires exactly once ---------------------------
+
+class TestBadFixtures:
+    @pytest.mark.parametrize("rule", CONCURRENCY_RULES)
+    def test_fires_exactly_once(self, engine, rule):
+        relpath = f"repro/serve/_fixture_{rule.lower()}.py"
+        found = engine.lint_source(load(rule), relpath)
+        hits = [f for f in found if f.rule == rule]
+        assert len(hits) == 1, [f"{f.rule}:{f.line}" for f in found]
+        assert hits[0].severity == Severity.ERROR
+        marker_line = next(
+            i + 1 for i, text in enumerate(load(rule).splitlines())
+            if "<--" in text)
+        assert hits[0].line == marker_line
+        # and no *other* concurrency rule cross-fires on the fixture
+        others = [f for f in found
+                  if f.rule in CONCURRENCY_RULES and f.rule != rule]
+        assert others == []
+
+    @pytest.mark.parametrize("rule", CONCURRENCY_RULES)
+    def test_cli_exits_one(self, rule, capsys):
+        path = FIXTURE_DIR / BAD_FIXTURES[rule]
+        assert cli_main(["lint", "--no-baseline", str(path)]) == 1
+        assert rule in capsys.readouterr().out
+
+
+# ---- R007 -----------------------------------------------------------------
+
+class TestR007AsyncBlocking:
+    def test_sleep_in_sync_def_clean(self, engine):
+        src = 'import time\ndef f():\n    time.sleep(1)\n'
+        assert not lint(engine, src, rule="R007")
+
+    def test_nested_sync_def_excluded(self, engine):
+        src = ('import time\n'
+               'async def f():\n'
+               '    def blocking():\n'
+               '        time.sleep(1)\n'
+               '    return blocking\n')
+        assert not lint(engine, src, rule="R007")
+
+    def test_open_flagged(self, engine):
+        src = ('async def f(path):\n'
+               '    with open(path) as fh:\n'
+               '        return fh\n')
+        found = lint(engine, src, rule="R007")
+        assert len(found) == 1 and "open" in found[0].message
+
+    def test_read_text_flagged(self, engine):
+        src = 'async def f(p):\n    return p.read_text()\n'
+        assert len(lint(engine, src, rule="R007")) == 1
+
+    def test_engine_run_call_flagged(self, engine):
+        src = ('async def f(self, task):\n'
+               '    return self.engine.run(task)\n')
+        found = lint(engine, src, rule="R007")
+        assert len(found) == 1 and "run_in_executor" in found[0].message
+
+    def test_engine_run_reference_clean(self, engine):
+        # the batcher's offload shape: a partial holds a *reference*
+        src = ('import asyncio\n'
+               'import functools\n'
+               'async def f(self, loop, task):\n'
+               '    return await loop.run_in_executor(\n'
+               '        None, functools.partial(self.engine.run, task))\n')
+        assert not lint(engine, src, rule="R007")
+
+    def test_subprocess_flagged(self, engine):
+        src = ('import subprocess\n'
+               'async def f(cmd):\n'
+               '    return subprocess.run(cmd)\n')
+        assert len(lint(engine, src, rule="R007")) == 1
+
+    def test_sleep_finding_is_fixable(self, engine):
+        src = ('import asyncio\nimport time\n'
+               'async def f():\n    time.sleep(1)\n')
+        (found,) = lint(engine, src, rule="R007")
+        assert found.fixable
+
+
+# ---- R008 -----------------------------------------------------------------
+
+class TestR008FutureLeak:
+    def test_bare_create_task_flagged(self, engine):
+        src = ('import asyncio\n'
+               'async def f(w):\n'
+               '    asyncio.create_task(w())\n')
+        assert len(lint(engine, src, rule="R008")) == 1
+
+    def test_awaited_clean(self, engine):
+        src = ('import asyncio\n'
+               'async def f(w):\n'
+               '    t = asyncio.create_task(w())\n'
+               '    return await t\n')
+        assert not lint(engine, src, rule="R008")
+
+    def test_detach_helper_counts_as_consumption(self, engine):
+        src = ('import asyncio\n'
+               'from .batcher import detach_future\n'
+               'def f(loop, fn):\n'
+               '    fut = loop.run_in_executor(None, fn)\n'
+               '    detach_future(fut, 0)\n')
+        assert not lint(engine, src, rule="R008")
+
+    def test_gathered_clean(self, engine):
+        src = ('import asyncio\n'
+               'async def f(w):\n'
+               '    a = asyncio.create_task(w())\n'
+               '    b = asyncio.create_task(w())\n'
+               '    return await asyncio.gather(a, b)\n')
+        assert not lint(engine, src, rule="R008")
+
+    def test_module_level_submit_flagged(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'pool = ProcessPoolExecutor()\n'
+               'pool.submit(print, 1)\n')
+        assert len(lint(engine, src, rule="R008")) == 1
+
+
+# ---- R009 -----------------------------------------------------------------
+
+class TestR009SharedState:
+    def test_detach_future_helper_allowlisted(self, engine):
+        src = ('import asyncio\n'
+               'def detach_future(fut, batch_start_ns):\n'
+               '    fut._repro_meta = (batch_start_ns, None)\n')
+        assert not lint(engine, src, rule="R009")
+
+    def test_dual_context_attr_flagged(self, engine):
+        src = ('import asyncio\n'
+               'class Q:\n'
+               '    def __init__(self):\n'
+               '        self._items = []\n'
+               '    async def put(self, x):\n'
+               '        self._items.append(x)\n'
+               '    def drain(self):\n'
+               '        self._items = []\n')
+        found = lint(engine, src, rule="R009")
+        assert len(found) == 1 and "Q._items" in found[0].message
+
+    def test_locked_writes_clean(self, engine):
+        src = ('import asyncio\n'
+               'class Q:\n'
+               '    async def put(self, x):\n'
+               '        with self._lock:\n'
+               '            self._items.append(x)\n'
+               '    def drain(self):\n'
+               '        with self._lock:\n'
+               '            self._items = []\n')
+        assert not lint(engine, src, rule="R009")
+
+    def test_init_is_not_a_writer(self, engine):
+        src = ('import asyncio\n'
+               'class Q:\n'
+               '    def __init__(self):\n'
+               '        self._items = []\n'
+               '    async def put(self, x):\n'
+               '        self._items.append(x)\n')
+        assert not lint(engine, src, rule="R009")
+
+    def test_single_context_clean(self, engine):
+        src = ('import asyncio\n'
+               'class Q:\n'
+               '    async def put(self, x):\n'
+               '        self._items.append(x)\n'
+               '    async def drain(self):\n'
+               '        self._items = []\n')
+        assert not lint(engine, src, rule="R009")
+
+    def test_dual_context_module_global_flagged(self, engine):
+        src = ('import asyncio\n'
+               '_CACHE = {}\n'
+               'async def put(k, v):\n'
+               '    _CACHE[k] = v\n'
+               'def clear():\n'
+               '    _CACHE.clear()\n')
+        found = lint(engine, src, rule="R009")
+        assert len(found) == 1 and "_CACHE" in found[0].message
+
+    def test_sync_only_module_not_checked(self, engine):
+        # no asyncio/threading import: there is no second context
+        src = ('def stamp(fut, meta):\n'
+               '    fut._meta = meta\n')
+        assert not lint(engine, src, rule="R009")
+
+
+# ---- R010 -----------------------------------------------------------------
+
+class TestR010PicklableSubmit:
+    def test_top_level_def_clean(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def work(x):\n'
+               '    return x\n'
+               'def go():\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(work, 1)\n'
+               '    return fut.result()\n')
+        assert not lint(engine, src, rule="R010")
+
+    def test_thread_pool_exempt(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'from concurrent.futures import ThreadPoolExecutor\n'
+               'def go():\n'
+               '    pool = ThreadPoolExecutor()\n'
+               '    fut = pool.submit(lambda: 1)\n'
+               '    return fut.result()\n')
+        assert not lint(engine, src, rule="R010")
+
+    def test_bound_method_flagged(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'class E:\n'
+               '    def start(self):\n'
+               '        self._pool = ProcessPoolExecutor()\n'
+               '    def go(self):\n'
+               '        fut = self._pool.submit(self.run_task, 1)\n'
+               '        return fut.result()\n')
+        found = lint(engine, src, rule="R010")
+        assert len(found) == 1 and "bound method" in found[0].message
+
+    def test_nested_def_flagged(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def go():\n'
+               '    def inner(x):\n'
+               '        return x\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(inner, 1)\n'
+               '    return fut.result()\n')
+        found = lint(engine, src, rule="R010")
+        assert len(found) == 1 and "closure" in found[0].message
+
+    def test_factory_annotation_infers_pool(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def _ensure_pool() -> ProcessPoolExecutor:\n'
+               '    return ProcessPoolExecutor()\n'
+               'def go():\n'
+               '    pool = _ensure_pool()\n'
+               '    fut = pool.submit(lambda: 1)\n'
+               '    return fut.result()\n')
+        assert len(lint(engine, src, rule="R010")) == 1
+
+    def test_ifexp_binding_resolved(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def _plain(t):\n'
+               '    return t\n'
+               'def go(traced):\n'
+               '    def _traced(t):\n'
+               '        return t\n'
+               '    run_one = _traced if traced else _plain\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(run_one, 1)\n'
+               '    return fut.result()\n')
+        found = lint(engine, src, rule="R010")
+        assert len(found) == 1 and "_traced" in found[0].message
+
+    def test_ifexp_both_top_level_clean(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def _plain(t):\n'
+               '    return t\n'
+               'def _traced(t):\n'
+               '    return t\n'
+               'def go(traced):\n'
+               '    run_one = _traced if traced else _plain\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(run_one, 1)\n'
+               '    return fut.result()\n')
+        assert not lint(engine, src, rule="R010")
+
+    def test_lambda_argument_flagged(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def work(x, key):\n'
+               '    return key(x)\n'
+               'def go():\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(work, 1, key=lambda v: v)\n'
+               '    return fut.result()\n')
+        found = lint(engine, src, rule="R010")
+        assert len(found) == 1 and "argument" in found[0].message
+
+    def test_register_task_kind_lambda_flagged(self, engine):
+        src = 'register_task_kind("matmul", lambda t: t)\n'
+        assert len(lint(engine, src, rule="R010")) == 1
+
+
+# ---- R011 -----------------------------------------------------------------
+
+class TestR011ContextvarHygiene:
+    def test_context_reader_in_worker_flagged(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def worker(x):\n'
+               '    return current_request()\n'
+               'def go():\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(worker, 1)\n'
+               '    return fut.result()\n')
+        found = lint(engine, src, rule="R011")
+        assert len(found) == 1 and "current_request" in found[0].message
+
+    def test_request_scope_in_worker_clean(self, engine):
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def worker(task):\n'
+               '    with request_scope(task.tags[0]):\n'
+               '        return task.key\n'
+               'def go(task):\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(worker, task)\n'
+               '    return fut.result()\n')
+        assert not lint(engine, src, rule="R011")
+
+    def test_non_worker_reader_clean(self, engine):
+        # only functions that cross the process boundary are checked
+        src = ('from concurrent.futures import ProcessPoolExecutor\n'
+               'def worker(x):\n'
+               '    return x\n'
+               'def loop_side():\n'
+               '    return current_request()\n'
+               'def go():\n'
+               '    pool = ProcessPoolExecutor()\n'
+               '    fut = pool.submit(worker, 1)\n'
+               '    return fut.result()\n')
+        assert not lint(engine, src, rule="R011")
+
+    def test_runners_table_identifies_workers(self, engine):
+        src = ('def run_matmul(task):\n'
+               '    return current_request_id()\n'
+               '_RUNNERS = {"matmul": run_matmul}\n')
+        found = lint(engine, src, rule="R011")
+        assert len(found) == 1
+
+    def test_register_task_kind_identifies_workers(self, engine):
+        src = ('import contextvars\n'
+               '_REQ = contextvars.ContextVar("req")\n'
+               'def run_matmul(task):\n'
+               '    return _REQ.get()\n'
+               'register_task_kind("matmul", run_matmul)\n')
+        found = lint(engine, src, rule="R011")
+        assert len(found) == 1 and "_REQ" in found[0].message
+
+
+# ---- autofixes ------------------------------------------------------------
+
+class TestFixes:
+    def test_fix_time_sleep_line(self):
+        assert fix_time_sleep("    time.sleep(0.2)\n", 4) == \
+            "    await asyncio.sleep(0.2)\n"
+        # mid-line calls are left alone (await cannot be inserted)
+        line = "    x = time.sleep(0.2)\n"
+        assert fix_time_sleep(line, 8) == line
+
+    def _run_fix(self, tmp_path, source, argv_extra):
+        bad = tmp_path / "fixture.py"
+        bad.write_text(textwrap.dedent(source))
+        rc = cli_main(["lint", "--no-baseline", *argv_extra, str(bad)])
+        return rc, bad.read_text()
+
+    def test_r007_fix_is_idempotent(self, tmp_path, capsys):
+        src = ('import asyncio\nimport time\n'
+               'async def f():\n'
+               '    time.sleep(0.2)\n')
+        rc, fixed = self._run_fix(tmp_path, src,
+                                  ["--fix-rule", "R007"])
+        assert rc == 0
+        assert "await asyncio.sleep(0.2)" in fixed
+        assert "time.sleep" not in fixed
+        # second pass: nothing left to fix, file unchanged
+        rc2 = cli_main(["lint", "--no-baseline", "--fix-rule", "R007",
+                        str(tmp_path / "fixture.py")])
+        assert rc2 == 0
+        assert (tmp_path / "fixture.py").read_text() == fixed
+
+    def test_r007_fix_requires_asyncio_import(self, tmp_path, capsys):
+        src = ('import time\n'
+               'async def f():\n'
+               '    time.sleep(0.2)\n')
+        rc, text = self._run_fix(tmp_path, src, ["--fix-rule", "R007"])
+        # no asyncio import: rewriting would introduce a NameError,
+        # so the finding is reported instead of fixed
+        assert rc == 1
+        assert "time.sleep(0.2)" in text
+
+    def test_r005_fix_is_idempotent(self, tmp_path, capsys):
+        src = ('def f(x, cache={}):\n'
+               '    return cache\n')
+        rc, fixed = self._run_fix(tmp_path, src,
+                                  ["--fix-rule", "R005"])
+        assert rc == 0
+        assert "cache=None" in fixed
+        assert "if cache is None:" in fixed
+        assert "cache = {}" in fixed
+        rc2 = cli_main(["lint", "--no-baseline", "--fix-rule", "R005",
+                        str(tmp_path / "fixture.py")])
+        assert rc2 == 0
+        assert (tmp_path / "fixture.py").read_text() == fixed
+
+    def test_r005_fix_respects_docstring(self, tmp_path, capsys):
+        src = ('def f(x, cache={}):\n'
+               '    """Doc."""\n'
+               '    return cache\n')
+        rc, fixed = self._run_fix(tmp_path, src,
+                                  ["--fix-rule", "R005"])
+        assert rc == 0
+        lines = fixed.splitlines()
+        assert lines[1].strip() == '"""Doc."""'
+        assert lines[2].strip() == "if cache is None:"
+
+    def test_bare_fix_does_not_touch_r007(self, tmp_path, capsys):
+        # --fix without --fix-rule only runs the default (R004) fixer
+        src = ('import asyncio\nimport time\n'
+               'async def f():\n'
+               '    time.sleep(0.2)\n')
+        rc, text = self._run_fix(tmp_path, src, ["--fix"])
+        assert rc == 1
+        assert "time.sleep(0.2)" in text
+
+    def test_unknown_fix_rule_is_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError):
+            apply_fixes([], tmp_path, rules=["R001"])
+
+    def test_unknown_fix_rule_via_cli(self, tmp_path, capsys):
+        bad = tmp_path / "fixture.py"
+        bad.write_text("x = 1\n")
+        rc = cli_main(["lint", "--no-baseline", "--fix-rule", "R001",
+                       str(bad)])
+        assert rc == 2
+        assert "no fixer" in capsys.readouterr().err
+
+    def test_bad_min_severity_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["lint", "--min-severity", "loud"])
+        assert excinfo.value.code == 2
+
+
+# ---- sanitizer ------------------------------------------------------------
+
+class TestSanitizer:
+    def test_loop_block_detected(self):
+        with sanitized(block_threshold_ms=10.0) as sanitizer:
+            async def main():
+                time.sleep(0.05)        # deliberate: block the loop
+                await asyncio.sleep(0)
+            asyncio.run(main())
+        kinds = {r["kind"] for r in sanitizer.reports}
+        assert "loop_block" in kinds
+        (report,) = [r for r in sanitizer.reports
+                     if r["kind"] == "loop_block"][:1]
+        assert report["value_ms"] >= 10.0
+
+    def test_fast_callbacks_clean(self):
+        with sanitized(block_threshold_ms=250.0) as sanitizer:
+            async def main():
+                await asyncio.sleep(0)
+            asyncio.run(main())
+        assert sanitizer.reports == []
+
+    def test_context_restores_previous(self):
+        assert get_sanitizer() is None
+        handle_run = asyncio.events.Handle._run
+        with sanitized() as sanitizer:
+            assert get_sanitizer() is sanitizer
+            assert asyncio.events.Handle._run is not handle_run
+        assert get_sanitizer() is None
+        assert asyncio.events.Handle._run is handle_run
+
+    def test_exception_handler_classification(self):
+        class _FakeLoop:
+            def __init__(self):
+                self.contexts = []
+
+            def default_exception_handler(self, context):
+                self.contexts.append(context)
+
+        sanitizer = ConcurrencySanitizer(block_threshold_ms=250.0)
+        loop = _FakeLoop()
+        sanitizer.loop_exception_handler(
+            loop, {"message": "Task exception was never retrieved"})
+        sanitizer.loop_exception_handler(
+            loop, {"message": "Task was destroyed but it is pending!"})
+        sanitizer.loop_exception_handler(
+            loop, {"message": "something else broke"})
+        kinds = [r["kind"] for r in sanitizer.reports]
+        assert kinds == ["unretrieved_future", "pending_task_destroyed",
+                        "loop_exception"]
+        assert len(loop.contexts) == 3      # always defers to default
+
+    def test_observe_result_pins_digest(self):
+        sanitizer = ConcurrencySanitizer(block_threshold_ms=250.0)
+        sanitizer.observe_result("matmul", "k1", {"result": 1},
+                                 "executed")
+        sanitizer.observe_result("matmul", "k1", {"result": 1}, "cache")
+        assert sanitizer.reports == []
+        sanitizer.observe_result("matmul", "k1", {"result": 2},
+                                 "executed")
+        (report,) = sanitizer.reports
+        assert report["kind"] == "cross_process_divergence"
+
+    def test_report_cap(self):
+        sanitizer = ConcurrencySanitizer(block_threshold_ms=250.0)
+        for i in range(205):
+            sanitizer.record("loop_block", f"r{i}")
+        summary = sanitizer.summary()
+        assert len(summary["reports"]) == 200
+        assert summary["suppressed"] == 5
+        assert summary["by_kind"] == {"loop_block": 200}
+
+    def test_write_summary(self, tmp_path):
+        sanitizer = ConcurrencySanitizer(block_threshold_ms=42.0)
+        sanitizer.record("loop_block", "slow", 99.0)
+        out = tmp_path / "sanitize.json"
+        sanitizer.write(str(out))
+        payload = json.loads(out.read_text())
+        assert payload["block_threshold_ms"] == 42.0
+        assert payload["by_kind"] == {"loop_block": 1}
+
+    def test_sanitize_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled(False)
+        assert sanitize_enabled(True)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled(False)
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled(False)
+
+    def test_threshold_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE_THRESHOLD_MS", "17.5")
+        assert ConcurrencySanitizer().block_threshold_ms == 17.5
+
+
+class TestDoubleRunDiff:
+    @staticmethod
+    def _row(rid, outcome="ok", sha="aaaa"):
+        return {"id": rid, "outcome": outcome, "body_sha": sha}
+
+    def test_identical_ok_rows_compare_clean(self):
+        report = {"per_request": [self._row("req-s0-00000"),
+                                  self._row("req-s0-00001", sha="bbbb")]}
+        diff = diff_double_run(report, json.loads(json.dumps(report)))
+        assert diff == {"divergences": [], "compared": 2, "excused": 0}
+
+    def test_body_mismatch_is_divergence(self):
+        first = {"per_request": [self._row("req-s0-00000", sha="aaaa")]}
+        second = {"per_request": [self._row("req-s0-00000", sha="cccc")]}
+        diff = diff_double_run(first, second)
+        assert len(diff["divergences"]) == 1
+        assert "req-s0-00000" in diff["divergences"][0]
+
+    def test_degraded_rows_excused(self):
+        # admission/deadline outcomes are wall-clock dependent by design
+        first = {"per_request": [self._row("r1", outcome="degraded"),
+                                 self._row("r2")]}
+        second = {"per_request": [self._row("r1", outcome="ok"),
+                                  self._row("r2")]}
+        diff = diff_double_run(first, second)
+        assert diff["divergences"] == []
+        assert diff["compared"] == 1 and diff["excused"] == 1
+
+    def test_one_sided_row_is_divergence(self):
+        first = {"per_request": [self._row("r1"), self._row("r2")]}
+        second = {"per_request": [self._row("r1")]}
+        diff = diff_double_run(first, second)
+        assert diff["divergences"] == ["r2: present in only one run"]
+
+
+@pytest.mark.slow
+class TestDoubleRunServe:
+    def test_double_run_serve_is_deterministic(self):
+        from repro.lint.sanitizer import double_run_serve
+        from repro.serve.loadgen import LoadgenConfig
+        from repro.serve.server import ServeConfig
+
+        serve_config = ServeConfig(port=0, workers=1,
+                                   calibration_instructions=128)
+        lg_config = LoadgenConfig(seed=0, requests=6, rate_per_s=50.0)
+        with sanitized() as sanitizer:
+            reports, diff = double_run_serve(serve_config, lg_config,
+                                             sanitizer)
+        assert diff["divergences"] == []
+        assert diff["compared"] >= 1
+        assert [r["kind"] for r in sanitizer.reports
+                if r["kind"] == "double_run_divergence"] == []
+        for report in reports:
+            ok_rows = [row for row in report["per_request"]
+                       if row.get("outcome") == "ok"]
+            assert all("body_sha" in row for row in ok_rows)
+
+
+# ---- live tree ------------------------------------------------------------
+
+class TestLiveTree:
+    def test_tree_clean_under_concurrency_rules(self, engine):
+        result = engine.run()
+        hits = [f for f in result.findings
+                if f.rule in CONCURRENCY_RULES]
+        assert hits == [], [f"{f.path}:{f.line} {f.rule}" for f in hits]
