@@ -23,7 +23,13 @@ Commands:
 * ``loadgen``  — deterministic open-loop load generation against a
   server (or ``--self-serve``); writes ``BENCH_serve.json``;
 * ``perfwatch`` — diff ``BENCH_*.json`` artifacts against the
-  committed performance baseline; exit 1 on regression.
+  committed performance baseline; exit 1 on regression;
+* ``chaos``    — the seeded service-level chaos campaign: replay one
+  loadgen schedule against an in-process server under each service
+  fault class (worker kill/stall, cache corruption/permission loss,
+  slow batches, connection drops) and write the availability report
+  (``BENCH_chaos.json``); exit 1 on any silent data corruption or
+  hang.
 
 Every command accepts ``--telemetry-dir DIR``: the run then executes
 inside a :class:`repro.obs.export.TelemetrySession` and leaves
@@ -310,6 +316,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.report:
             print(f"report written to {args.report}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience.chaos import (ChaosCampaignConfig,
+                                   SERVICE_FAULT_KINDS,
+                                   run_chaos_campaign,
+                                   write_chaos_report)
+
+    classes = tuple(SERVICE_FAULT_KINDS)
+    if args.classes:
+        classes = tuple(c.strip() for c in args.classes.split(",")
+                        if c.strip())
+    if args.quick:
+        config = ChaosCampaignConfig.quick(seed=args.seed)
+        if args.classes:
+            from dataclasses import replace
+            config = replace(config, fault_classes=classes)
+    else:
+        config = ChaosCampaignConfig(
+            seed=args.seed, requests=args.requests,
+            rate_per_s=args.rate, workers=args.workers,
+            deadline_ms=args.deadline_ms, timeout_s=args.timeout,
+            fault_classes=classes,
+            faults_per_class=args.faults_per_class)
+    report = run_chaos_campaign(config)
+    if args.out:
+        write_chaos_report(report, args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    for phase in report["phases"]:
+        counts = phase["counts"]
+        print(f"{phase['fault_class']:14s} good {counts['good']:3d}  "
+              f"degraded {counts['degraded']:3d}  "
+              f"rejected {counts['rejected']:3d}  "
+              f"failed {counts['failed']:3d}  "
+              f"availability {phase['availability']:.2f}  "
+              f"sdc {len(phase['sdc'])}  hangs {phase['hangs']}  "
+              f"drain {'clean' if phase['clean_drain'] else 'FORCED'}")
+    verdict = "ok" if report["ok"] else "FAIL"
+    print(f"chaos campaign seed {report['seed']}: "
+          f"{len(report['phases'])} phases, "
+          f"sdc {report['sdc_total']}, hangs {report['hangs_total']} "
+          f"-> {verdict}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
 
 
 def _severity_arg(text: str):
@@ -777,6 +828,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rewrite the baseline from the current "
                         "artifacts instead of comparing")
     p.set_defaults(func=_cmd_perfwatch)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded service-level chaos campaign; writes "
+             "BENCH_chaos.json, exit 1 on any SDC or hang")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--requests", type=int, default=24,
+                   help="requests per phase (default 24)")
+    p.add_argument("--rate", type=float, default=30.0,
+                   metavar="REQ_PER_S",
+                   help="offered open-loop rate (default 30/s)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="process-pool width (default 2; must be >= 2 "
+                        "so worker faults fire in forked workers)")
+    p.add_argument("--classes", default=None, metavar="KIND,KIND",
+                   help="comma-separated fault classes "
+                        "(default: all six)")
+    p.add_argument("--faults-per-class", type=int, default=2,
+                   metavar="N",
+                   help="faults armed per class phase (default 2)")
+    p.add_argument("--deadline-ms", type=int, default=6000,
+                   help="per-request deadline (default 6000)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="client hang bound per request (default 30)")
+    p.add_argument("--quick", action="store_true",
+                   help="the CI smoke shape: fewer requests, tighter "
+                        "deadlines, one fault per class")
+    p.add_argument("--out", default="BENCH_chaos.json", metavar="FILE",
+                   help="report artifact (default BENCH_chaos.json; "
+                        "'' disables)")
+    p.add_argument("--json", action="store_true",
+                   help="also print the full report to stdout")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "lint",

@@ -75,3 +75,8 @@ class ResilienceError(ReproError):
 class HangError(ResilienceError):
     """A fault-injected simulation exceeded its cycle budget; the
     campaign watchdog converts this into a classified hang."""
+
+
+class ChaosError(ResilienceError):
+    """The service-level chaos layer was misused (unknown fault kind,
+    malformed token file, invalid campaign configuration)."""

@@ -226,12 +226,22 @@ class ResultCache:
     def get(self, key: str, *, kind: str = "task") -> Optional[Dict]:
         path = self._path(key)
         registry = get_registry()
+        if os.environ.get("REPRO_CHAOS_DIR"):  # resilience.chaos.ENV_CHAOS_DIR
+            from ..resilience.chaos import chaos_point
+            chaos_point("cache_get", path=str(path))
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
             payload = None
         except (OSError, json.JSONDecodeError):
-            # torn/corrupt entry: treat as a miss and drop it
+            # torn/corrupt entry: count it, treat as a miss, and drop
+            # it so the recompute's put() rewrites a clean entry
+            # (otherwise a permanently corrupt file would be re-read
+            # and dropped on every subsequent hit)
+            registry.counter(
+                "repro_exec_cache_corrupt_total",
+                "cache entries dropped as unreadable or corrupt",
+                ).inc(kind=kind)
             self.invalidate(key)
             payload = None
         if payload is None:
@@ -247,11 +257,20 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: Dict) -> None:
+        """Store one entry, best-effort: a cache that cannot persist
+        (full disk, permission loss) must never fail the already-
+        computed result it was asked to remember."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns True when something was removed."""
@@ -260,6 +279,10 @@ class ResultCache:
             path.unlink()
             return True
         except FileNotFoundError:
+            return False
+        except OSError:
+            # e.g. a permission-dropped directory: quarantine failed,
+            # but the caller already treats the entry as a miss
             return False
 
     def clear(self) -> int:

@@ -32,13 +32,14 @@ from __future__ import annotations
 import atexit
 import concurrent.futures
 import os
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import CoreConfig
 from ..core.pipeline import SimResult, simulate
-from ..errors import ExecError
+from ..errors import DeadlineError, ExecError
 from ..obs.context import request_scope
 from ..obs.metrics import get_registry
 from ..obs.tracing import Tracer, get_tracer, set_tracer
@@ -63,12 +64,19 @@ class ExecTask:
     task so its spans land on that request's trace track.  Tags are
     deliberately *excluded* from ``key``: two requests asking for the
     same work share one cache entry and one single-flight execution.
+
+    ``deadline_s`` is an execution *budget*, not content: like tags it
+    is excluded from ``key`` (the answer does not depend on how long
+    the caller is willing to wait).  ``None`` means unbounded.  The
+    engine enforces the budget per parallel batch — see
+    :meth:`Engine._execute_parallel`.
     """
 
     kind: str
     key: str
     payload: object
     tags: Tuple[str, ...] = ()
+    deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -135,6 +143,9 @@ def _execute_task(task: ExecTask) -> Dict[str, object]:
     runner = _TASK_RUNNERS.get(task.kind)
     if runner is None:
         raise ExecError(f"unknown task kind {task.kind!r}")
+    if os.environ.get("REPRO_CHAOS_DIR"):  # resilience.chaos.ENV_CHAOS_DIR
+        from ..resilience.chaos import chaos_point
+        chaos_point("worker_task")
     if task.tags:
         # adopt the originating request's id so spans recorded inside
         # the runner attach to its trace track
@@ -224,12 +235,27 @@ class Engine:
 
     ``close()`` is idempotent, and an engine remains usable after
     closing — the next parallel batch simply creates a fresh pool.
+
+    The parallel path is *supervised*: a worker that dies mid-task
+    (SIGKILL, OOM) breaks the pool, and the engine rebuilds it and
+    re-dispatches exactly the unfinished tasks — at most
+    ``max_restarts`` rebuilds per batch.  Because every task kind is
+    pure, a re-dispatched task returns the same bytes it would have
+    the first time, so supervision never perturbs results
+    (test-enforced).  Tasks carrying a ``deadline_s`` budget arm a
+    per-batch watchdog: if the budget expires with work outstanding,
+    the pool (which may hold a stalled worker) is killed and
+    :class:`~repro.errors.DeadlineError` raised.
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 cache=None):
+                 cache=None, max_restarts: int = 2):
         self.workers = resolve_workers(workers)
         self.cache: Optional[ResultCache] = resolve_cache(cache)
+        if max_restarts < 0:
+            raise ExecError(
+                f"max_restarts must be >= 0, got {max_restarts}")
+        self.max_restarts = int(max_restarts)
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -324,35 +350,125 @@ class Engine:
         out: Dict[int, Dict[str, object]] = {}
         if not pending:
             return out
-        if self.workers <= 1 or len(pending) == 1:
+        if self.workers <= 1:
+            # serial path: no worker to crash, no watchdog to arm (an
+            # in-process stall cannot be preempted anyway)
             for i, task in pending:
                 out[i] = _execute_task(task)
             return out
+        budgets = [task.deadline_s for _, task in pending]
+        budget_s = (max(budgets)
+                    if all(b is not None for b in budgets) else None)
+        return self._execute_parallel(list(pending), budget_s)
+
+    def _execute_parallel(self, pending: List[Tuple[int, ExecTask]],
+                          budget_s: Optional[float],
+                          ) -> Dict[int, Dict[str, object]]:
+        """Supervised fan-out: survive dead workers, bound stalls.
+
+        ``budget_s`` is the batch's deadline budget (the loosest task
+        deadline; ``None`` when any task is unbounded), measured from
+        batch start — a deliberate approximation of each request's
+        end-to-end deadline that keeps the watchdog per-batch.
+        """
+        out: Dict[int, Dict[str, object]] = {}
         errors: Dict[int, BaseException] = {}
         tracer = get_tracer()
         traced = tracer.enabled
         run_one = _execute_task_traced if traced else _execute_task
-        pool = self._ensure_pool()
-        futures = {pool.submit(run_one, task): i
-                   for i, task in pending}
-        for fut in concurrent.futures.as_completed(futures):
-            i = futures[fut]
+        deadline = (time.monotonic() + budget_s
+                    if budget_s is not None else None)
+        remaining = list(pending)
+        rebuilds = 0
+        while remaining:
+            pool = self._ensure_pool()
+            broken = False
+            futures: Dict[concurrent.futures.Future, int] = {}
             try:
-                result = fut.result()
-            except BaseException as exc:   # noqa: BLE001 - reraised
-                errors[i] = exc
-                continue
-            if traced:
-                out[i], wire = result
-                tracer.merge_wire(wire, origin="worker")
-            else:
-                out[i] = result
-        if errors:
-            # deterministic propagation: the failure of the
-            # earliest-indexed task wins, whatever finished first
-            first = min(errors)
-            raise errors[first]
+                for i, task in remaining:
+                    futures[pool.submit(run_one, task)] = i
+            except concurrent.futures.BrokenExecutor:
+                # a worker died while we were still submitting; the
+                # already-submitted futures resolve below, the rest
+                # stay in ``remaining`` for the rebuilt pool
+                broken = True
+            not_done = set(futures)
+            while not_done:
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - time.monotonic()
+                    if timeout <= 0:
+                        break
+                done, not_done = concurrent.futures.wait(
+                    not_done, timeout=timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                if not done:
+                    break               # budget expired mid-wait
+                for fut in done:
+                    i = futures[fut]
+                    try:
+                        result = fut.result()
+                    except concurrent.futures.BrokenExecutor:
+                        broken = True
+                        continue
+                    except BaseException as exc:  # noqa: BLE001 - reraised
+                        errors[i] = exc
+                        continue
+                    if traced:
+                        out[i], wire = result
+                        tracer.merge_wire(wire, origin="worker")
+                    else:
+                        out[i] = result
+            finished = set(out) | set(errors)
+            remaining = [(i, t) for i, t in remaining
+                         if i not in finished]
+            if broken:
+                # discard the dead pool before any raise below, or the
+                # next batch would submit into a broken executor
+                pool, self._pool = self._pool, None
+                if pool is not None:
+                    pool.shutdown(wait=True)
+            if errors:
+                # deterministic propagation: the failure of the
+                # earliest-indexed task wins, whatever finished first
+                raise errors[min(errors)]
+            if not_done:
+                # the budget expired with work outstanding; the pool
+                # may hold a stalled worker, so kill rather than drain
+                self._kill_pool()
+                raise DeadlineError(
+                    f"batch exceeded its {budget_s:.3f}s deadline "
+                    f"budget with {len(remaining)} task(s) unfinished")
+            if broken and remaining:
+                rebuilds += 1
+                registry = get_registry()
+                registry.counter(
+                    "repro_exec_pool_rebuilds_total",
+                    "process-pool rebuilds after worker death",
+                    ).inc(reason="broken")
+                if rebuilds > self.max_restarts:
+                    raise ExecError(
+                        f"worker pool died {rebuilds} times in one "
+                        f"batch (max_restarts={self.max_restarts}); "
+                        f"{len(remaining)} task(s) unfinished")
+                registry.counter(
+                    "repro_exec_task_retries_total",
+                    "tasks re-dispatched after a worker death",
+                    ).inc(float(len(remaining)), reason="broken")
         return out
+
+    def _kill_pool(self) -> None:
+        """Forcibly discard the pool, killing any stalled worker.
+
+        ``shutdown`` alone would block on a worker that is asleep in a
+        task; killing the processes first makes reclamation prompt.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.kill()
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 # Engines whose persistent pool is still open.  The atexit sweep closes

@@ -18,12 +18,20 @@ apart) uses a tight one.  Speedups are never failures; they are
 reported so the baseline can be ratcheted down with
 ``--update-baseline``.
 
+Availability (the ``availability.rate`` section ``repro loadgen``
+writes into ``BENCH_serve.json``) is watched alongside p99, but with
+an *absolute-drop* judgment instead of a ratio: a rate is already
+normalized to [0, 1], so "current may be at most ``max_drop`` below
+baseline" is the meaningful contract (a ratio on a number near 1.0
+would make a catastrophic 0.5 -> 0.4 collapse look like -20%).
+
 Baseline schema::
 
     {"schema": 1,
      "default_tolerance": 0.5,
      "scenarios": {"fig05": {"wall_s": 1.23, "tolerance": 4.0}},
-     "serve": {"p99_s": 0.8, "tolerance": 4.0}}
+     "serve": {"p99_s": 0.8, "tolerance": 4.0},
+     "availability": {"rate": 1.0, "max_drop": 0.25}}
 """
 
 from __future__ import annotations
@@ -38,8 +46,11 @@ from ..errors import ExecError
 
 BASELINE_SCHEMA = 1
 DEFAULT_TOLERANCE = 0.5
+#: how far availability.rate may fall below the baseline (absolute)
+DEFAULT_AVAILABILITY_DROP = 0.1
 # artifacts in the bench dir that are not per-scenario timings
-_SPECIAL = ("BENCH_sweep.json", "BENCH_serve.json")
+_SPECIAL = ("BENCH_sweep.json", "BENCH_serve.json",
+            "BENCH_chaos.json")
 
 
 def collect_current(bench_dir) -> Dict[str, object]:
@@ -59,6 +70,7 @@ def collect_current(bench_dir) -> Dict[str, object]:
             raise ExecError(f"{path} lacks a numeric wall_s")
         scenarios[str(name)] = float(wall)
     serve: Optional[float] = None
+    availability: Optional[float] = None
     serve_path = root / "BENCH_serve.json"
     if serve_path.exists():
         doc = _load(serve_path)
@@ -67,9 +79,14 @@ def collect_current(bench_dir) -> Dict[str, object]:
         if not isinstance(p99, (int, float)):
             raise ExecError(f"{serve_path} lacks latency_s.p99")
         serve = float(p99)
+        avail = doc.get("availability")
+        if isinstance(avail, dict) \
+                and isinstance(avail.get("rate"), (int, float)):
+            availability = float(avail["rate"])
     if not scenarios and serve is None:
         raise ExecError(f"no BENCH_*.json artifacts in {root}")
-    return {"scenarios": scenarios, "serve": serve}
+    return {"scenarios": scenarios, "serve": serve,
+            "availability": availability}
 
 
 def _load(path: Path) -> Dict[str, object]:
@@ -106,6 +123,9 @@ def build_baseline(current: Dict[str, object], *,
     }
     if current.get("serve") is not None:
         doc["serve"] = {"p99_s": current["serve"]}
+    if current.get("availability") is not None:
+        doc["availability"] = {"rate": current["availability"],
+                               "max_drop": DEFAULT_AVAILABILITY_DROP}
     return doc
 
 
@@ -154,6 +174,22 @@ def compare(baseline: Dict[str, object], current: Dict[str, object],
             base_serve.get("tolerance", default_tol))
         rows.append(_judge("serve:p99", float(base_serve["p99_s"]),
                            float(current["serve"]), tol))
+    base_avail = baseline.get("availability")
+    if base_avail is not None \
+            and current.get("availability") is not None:
+        # absolute drop, not a ratio: rates live in [0, 1] where a
+        # ratio would understate a collapse near the top of the range
+        base_rate = float(base_avail["rate"])
+        cur_rate = float(current["availability"])
+        max_drop = float(base_avail.get("max_drop",
+                                        DEFAULT_AVAILABILITY_DROP))
+        drop = base_rate - cur_rate
+        rows.append({"name": "serve:availability",
+                     "baseline_rate": base_rate,
+                     "current_rate": cur_rate,
+                     "drop": drop, "max_drop": max_drop,
+                     "status": ("regression" if drop > max_drop
+                                else "ok")})
     regressions = [r for r in rows if r["status"] == "regression"]
     return {"rows": rows, "regressions": len(regressions),
             "ok": not regressions}
@@ -187,6 +223,11 @@ def run_perfwatch(bench_dir, baseline_path, *,
             detail = (f"{row['current_s']:8.3f}s"
                       if status == "new" else "        -")
             print(f"{row['name']:16s} {detail}  [{status}]", file=out)
+            continue
+        if "baseline_rate" in row:
+            print(f"{row['name']:16s} {row['baseline_rate']:8.3f}  -> "
+                  f"{row['current_rate']:8.3f}   drop {row['drop']:+.3f} "
+                  f"(max {row['max_drop']:.3f})  [{status}]", file=out)
             continue
         print(f"{row['name']:16s} {row['baseline_s']:8.3f}s -> "
               f"{row['current_s']:8.3f}s  x{row['ratio']:.2f} "

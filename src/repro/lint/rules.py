@@ -307,6 +307,11 @@ class DeterminismRule(Rule):
     #: the measurement is inherently wall-clock (these feed latency
     #: telemetry, never model results).
     WALL_CLOCK_ALLOWANCES: Dict[str, Dict[str, str]] = {
+        "repro/exec/executor.py": {
+            "Engine._execute_parallel":
+                "wall-clock watchdog for per-batch deadline budgets "
+                "(feeds supervision, never model results)",
+        },
         "repro/serve/batcher.py": {
             "MicroBatcher.submit":
                 "queue-wait vs service split for SLO accounting",

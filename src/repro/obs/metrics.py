@@ -53,6 +53,12 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "repro_serve_proxy_estimates_total": "counter",
     "repro_serve_request_stage_seconds": "histogram",
     "repro_serve_slo_breaches_total": "counter",
+    "repro_exec_cache_corrupt_total": "counter",
+    "repro_exec_pool_rebuilds_total": "counter",
+    "repro_exec_task_retries_total": "counter",
+    "repro_serve_breaker_transitions_total": "counter",
+    "repro_serve_breaker_state": "gauge",
+    "repro_chaos_faults_fired_total": "counter",
 }
 
 # Quantiles reported in every histogram snapshot (and scraped by the

@@ -15,7 +15,11 @@ faults — and classifies what actually happened:
   (checkpoint after every run, cycle-budget watchdog, outcome
   classification);
 * :mod:`repro.resilience.report` — the AVF-style report cross-checking
-  injection outcomes against SERMiner's derating predictions.
+  injection outcomes against SERMiner's derating predictions;
+* :mod:`repro.resilience.chaos` — the *service-level* fault taxonomy
+  (worker kill/stall, cache corruption/permission loss, slow batches,
+  connection drops) and the seeded chaos campaign behind
+  ``repro chaos``.
 """
 
 from .faults import (CounterFault, DroopFault, Fault, FaultSchedule,
@@ -26,6 +30,10 @@ from .injector import (FaultInjector, InjectionRecord, get_injector,
 from .campaign import (CampaignConfig, CampaignResult, CampaignRunner,
                        OUTCOMES, RunRecord, resolve_workload)
 from .report import CampaignReport, GroupCheck, build_report
+from .chaos import (ChaosCampaign, ChaosCampaignConfig, ChaosController,
+                    SERVICE_FAULT_KINDS, ServiceFault, chaos_point,
+                    generate_service_schedule, run_chaos_campaign,
+                    service_chaos, write_chaos_report)
 
 __all__ = [
     "CounterFault", "DroopFault", "Fault", "FaultSchedule",
@@ -35,4 +43,8 @@ __all__ = [
     "CampaignConfig", "CampaignResult", "CampaignRunner", "OUTCOMES",
     "RunRecord", "resolve_workload",
     "CampaignReport", "GroupCheck", "build_report",
+    "ChaosCampaign", "ChaosCampaignConfig", "ChaosController",
+    "SERVICE_FAULT_KINDS", "ServiceFault", "chaos_point",
+    "generate_service_schedule", "run_chaos_campaign", "service_chaos",
+    "write_chaos_report",
 ]

@@ -21,8 +21,8 @@ bit-identity guarantee (batched == direct serial runs) is what keeps
 the service honest about it.
 """
 
-from .admission import AdmissionController, Decision, ProxyFastPath, \
-    TokenBucket
+from .admission import AdmissionController, CircuitBreaker, Decision, \
+    ProxyFastPath, TokenBucket
 from .batcher import MicroBatcher
 from .client import ServeClient, ServeResponse
 from .loadgen import LoadgenConfig, build_schedule, run_loadgen, \
@@ -35,7 +35,8 @@ from .server import (ReproServer, ServeConfig, ServerHandle,
 from .slo import SloTracker
 
 __all__ = [
-    "AdmissionController", "Decision", "ProxyFastPath", "TokenBucket",
+    "AdmissionController", "CircuitBreaker", "Decision",
+    "ProxyFastPath", "TokenBucket",
     "MicroBatcher",
     "ServeClient", "ServeResponse",
     "LoadgenConfig", "build_schedule", "run_loadgen", "write_report",

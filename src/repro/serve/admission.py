@@ -83,6 +83,103 @@ class TokenBucket:
         return (1.0 - self._tokens) / self.rate_per_s
 
 
+class CircuitBreaker:
+    """Per-route closed/open/half-open breaker; ``clock`` injectable.
+
+    Trips after ``failure_threshold`` *consecutive* execution failures
+    and stays open for ``reset_s``, during which the server routes
+    degradable requests straight to the proxy fast path (and rejects
+    the rest with Retry-After) instead of feeding a sick engine.  After
+    ``reset_s`` one probe request is let through (half-open): success
+    closes the breaker, failure reopens it for another ``reset_s``.
+
+    The paper's §IV-B fail-safe ladder applied to the serving plane:
+    when full-fidelity execution is compromised, fall back to the
+    always-available approximation rather than queue behind failures.
+
+    Like :class:`AdmissionController`, all methods are called from the
+    server's event loop only, so plain attributes suffice (no locks).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, route: str = "", *, failure_threshold: int = 5,
+                 reset_s: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure_threshold must be >= 1, got "
+                f"{failure_threshold}")
+        if reset_s <= 0:
+            raise ServeError(f"reset_s must be positive, got {reset_s}")
+        self.route = route
+        self.failure_threshold = int(failure_threshold)
+        self.reset_s = float(reset_s)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        registry = get_registry()
+        registry.counter(
+            "repro_serve_breaker_transitions_total",
+            "circuit-breaker state transitions").inc(
+                route=self.route, to=state)
+        registry.gauge(
+            "repro_serve_breaker_state",
+            "breaker state (0 closed, 1 half-open, 2 open)").set(
+                {self.CLOSED: 0.0, self.HALF_OPEN: 1.0,
+                 self.OPEN: 2.0}[state], route=self.route)
+
+    def allow(self) -> bool:
+        """May a request proceed to full-fidelity execution?"""
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN:
+            if self._clock() - self._opened_at < self.reset_s:
+                return False
+            self._transition(self.HALF_OPEN)
+            self._probing = True
+            return True
+        # half-open: exactly one probe at a time
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._probing = False
+        self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        failed_probe = self._state == self.HALF_OPEN
+        self._probing = False
+        if failed_probe or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._transition(self.OPEN)
+            self._failures = 0
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe is allowed (0 unless open)."""
+        if self._state != self.OPEN:
+            return 0.0
+        return max(0.0,
+                   self.reset_s - (self._clock() - self._opened_at))
+
+
 @dataclass(frozen=True)
 class Decision:
     """Outcome of admission: run, degrade to proxy, or reject."""

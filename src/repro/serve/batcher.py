@@ -24,7 +24,9 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import functools
+import os
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from ..errors import DrainingError, ServeError
@@ -79,6 +81,9 @@ class MicroBatcher:
         self.max_batch = max_batch
         self._pending: List[ExecTask] = []
         self._inflight: Dict[str, asyncio.Future] = {}
+        # key -> loosest deadline budget among its waiters (None =
+        # some waiter is unbounded); stamped onto tasks at batch time
+        self._deadlines: Dict[str, Optional[float]] = {}
         self._wakeup: Optional[asyncio.Event] = None
         self._runner: Optional[asyncio.Task] = None
         self._thread: Optional[concurrent.futures.ThreadPoolExecutor] = None
@@ -98,11 +103,19 @@ class MicroBatcher:
         self._runner = asyncio.get_running_loop().create_task(
             self._run_loop())
 
-    async def submit(self, task: ExecTask) -> Dict[str, object]:
+    async def submit(self, task: ExecTask, *,
+                     deadline_s: Optional[float] = None,
+                     ) -> Dict[str, object]:
         """Enqueue one task; resolves with its JSON result payload.
 
         Identical keys share one future (and one engine task): the
         caller that arrives first enqueues, everyone else joins.
+
+        ``deadline_s`` is this waiter's execution budget.  Joiners
+        merge budgets loosest-wins (an unbounded waiter makes the
+        shared task unbounded): the deadline must never change *what*
+        is computed, only how long the engine may spend on it, and the
+        most patient waiter still wants the full-fidelity answer.
         """
         if self._closed or self._runner is None:
             raise DrainingError(
@@ -112,9 +125,15 @@ class MicroBatcher:
             fut = asyncio.get_running_loop().create_future()
             fut.add_done_callback(_mark_retrieved)
             self._inflight[task.key] = fut
+            self._deadlines[task.key] = deadline_s
             self._pending.append(task)
             self._wakeup.set()
         else:
+            if task.key in self._deadlines:
+                prev = self._deadlines[task.key]
+                self._deadlines[task.key] = (
+                    None if prev is None or deadline_s is None
+                    else max(prev, deadline_s))
             get_registry().counter(
                 "repro_serve_singleflight_joins_total",
                 "requests served by joining an identical in-flight "
@@ -158,10 +177,16 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         batch_start_ns = time.perf_counter_ns()
         sources: Dict[str, str] = {}
+        # stamp each task with the loosest budget its waiters merged
+        # (joiners may have loosened it since the task was enqueued)
+        batch = [replace(task,
+                         deadline_s=self._deadlines.pop(task.key,
+                                                        task.deadline_s))
+                 for task in batch]
         try:
             results = await loop.run_in_executor(
                 self._thread,
-                functools.partial(self.engine.run,
+                functools.partial(self._engine_call,
                                   ExecPlan(list(batch)), sources))
         except asyncio.CancelledError:
             # drain cancelled the runner mid-batch: leave the waiter
@@ -185,6 +210,16 @@ class MicroBatcher:
                     detach_future(fut, batch_start_ns,
                                   sources.get(task.key))
                     fut.set_result(result)
+
+    def _engine_call(self, plan: ExecPlan, sources: Dict[str, str],
+                     ) -> List[Dict[str, object]]:
+        """The engine call, on the batch thread (sync) — also the
+        service-chaos slow-batch injection point, which must sleep on
+        this thread, never the event loop."""
+        if os.environ.get("REPRO_CHAOS_DIR"):  # resilience.chaos.ENV_CHAOS_DIR
+            from ..resilience.chaos import chaos_point
+            chaos_point("batch")
+        return self.engine.run(plan, sources)
 
     async def drain(self, timeout_s: float = 5.0) -> bool:
         """Stop accepting work and settle every in-flight future.
@@ -214,6 +249,7 @@ class MicroBatcher:
                     "server shut down before this request completed"))
         self._inflight.clear()
         self._pending.clear()
+        self._deadlines.clear()
         if self._thread is not None:
             # an abandoned batch keeps its thread until the engine call
             # returns; wait only when nothing was abandoned

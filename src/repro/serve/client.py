@@ -73,23 +73,31 @@ class ServeClient:
     backoff_base_s: float = 0.1
     backoff_cap_s: float = 2.0
     jitter_seed: Optional[int] = None
+    #: a caller-owned RNG for retry jitter; wins over ``jitter_seed``
+    #: so a chaos campaign or load generator can thread one seeded
+    #: stream through every client it builds
+    rng: Optional[random.Random] = None
     _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ServeError(f"retries must be >= 0, got {self.retries}")
-        self._rng = random.Random(self.jitter_seed)
+        self._rng = (self.rng if self.rng is not None
+                     else random.Random(self.jitter_seed))
 
     # ---- transport ---------------------------------------------------
 
     def _once(self, method: str, path: str, payload: Optional[Dict],
-              request_id: Optional[str] = None) -> ServeResponse:
+              request_id: Optional[str] = None,
+              deadline_ms: Optional[int] = None) -> ServeResponse:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else b"")
         headers = {"Content-Type": "application/json",
                    "Connection": "close"}
         if request_id is not None:
             headers["X-Request-Id"] = request_id
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s)
         started = time.monotonic()
@@ -131,19 +139,24 @@ class ServeClient:
 
     def request(self, path: str, payload: Optional[Dict] = None, *,
                 method: str = "POST",
-                request_id: Optional[str] = None) -> ServeResponse:
+                request_id: Optional[str] = None,
+                deadline_ms: Optional[int] = None) -> ServeResponse:
         """One logical request, with retries on 503/connection errors.
 
         ``request_id`` is sent as ``X-Request-Id`` so client-side logs
         correlate with the server's trace and access log; every retry
         reuses the same id (it names the logical request).
+        ``deadline_ms`` travels as ``X-Deadline-Ms``; the server folds
+        it into routes that accept a deadline when the body carries
+        none (the body field wins).
         """
         last_exc: Optional[Exception] = None
         last_resp: Optional[ServeResponse] = None
         for attempt in range(self.retries + 1):
             hint = None
             try:
-                resp = self._once(method, path, payload, request_id)
+                resp = self._once(method, path, payload, request_id,
+                                  deadline_ms)
             except (ConnectionError, socket.timeout, OSError) as exc:
                 last_exc, last_resp = exc, None
             else:

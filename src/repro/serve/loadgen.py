@@ -23,6 +23,10 @@ The report (``BENCH_serve.json``, schema 2) carries:
 * ``slo``: the run judged against a latency target (default p99 ≤
   ``slo_p99_ms``), plus the server's own rolling-window verdict
   scraped from ``/healthz`` when reachable;
+* ``availability``: good/degraded/rejected/failed counts and the
+  answered-usefully rate, so ``perfwatch`` can watch availability
+  alongside p99 (rejected = structured 503/504 refusals; failed =
+  everything else that was not a useful answer);
 * ``per_request``: one row per scheduled request (id, route, offset,
   latency, outcome) for trace/access-log correlation;
 * ``by_route``: legacy schema-1 request counts (kept for tooling
@@ -131,9 +135,12 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
 def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
     """Fire the schedule at one server; returns the report dict."""
     schedule = build_schedule(config)
-    # retries=0: the generator must observe shedding, not paper over it
+    # retries=0: the generator must observe shedding, not paper over
+    # it; the jitter seed keeps even the (unused) backoff RNG
+    # deterministic end-to-end
     client = ServeClient(host=config.host, port=config.port,
-                         timeout_s=config.timeout_s, retries=0)
+                         timeout_s=config.timeout_s, retries=0,
+                         jitter_seed=config.seed)
 
     def _fire(offset_s: float, route: str,
               payload: Dict[str, object], rid: str, start: float):
@@ -160,7 +167,7 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
     elapsed_s = time.monotonic() - started
 
     latencies: List[float] = []
-    ok = degraded = errors = malformed = 0
+    ok = degraded = errors = malformed = rejected = 0
     per_route: Dict[str, Dict[str, object]] = {}
     per_request: List[Dict[str, object]] = []
     for (offset, route, _payload, rid), (resp, failure) in zip(
@@ -200,6 +207,10 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
             errors += 1
             stats["errors"] += 1
             row["outcome"] = "error"
+            if resp.status in (503, 504):
+                # structured refusal (overload/draining/deadline) —
+                # predictable degradation, not damage
+                rejected += 1
         per_request.append(row)
     latencies.sort()
 
@@ -253,6 +264,14 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
         "degraded": degraded,
         "errors": errors,
         "malformed": malformed,
+        "availability": {
+            "good": ok - degraded,
+            "degraded": degraded,
+            "rejected": rejected,
+            "failed": (errors - rejected) + malformed,
+            # answered usefully (full-fidelity or degraded) over issued
+            "rate": ok / config.requests,
+        },
         "by_route": {r: per_route[r]["count"]
                      for r in sorted(per_route)},
         "endpoints": endpoints,

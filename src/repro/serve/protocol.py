@@ -24,7 +24,7 @@ proxy-instead-of-measurement philosophy.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Dict, Optional, Tuple, Type
 
 from ..errors import (ConfigError, DeadlineError, DrainingError,
@@ -256,6 +256,33 @@ REQUEST_TYPES: Dict[str, Type] = {
     EstimateRequest.ROUTE: EstimateRequest,
     InjectRequest.ROUTE: InjectRequest,
 }
+
+#: header that carries a request deadline when the body has none
+DEADLINE_HEADER = "x-deadline-ms"
+
+
+def apply_deadline_header(cls: Type, data: Dict[str, object],
+                          header: str) -> Dict[str, object]:
+    """Fold an ``X-Deadline-Ms`` header into a decoded request body.
+
+    An explicit ``deadline_ms`` in the body wins over the header, and
+    routes whose request type has no ``deadline_ms`` field (estimate —
+    the fast path needs no budget) ignore the header entirely rather
+    than reject it, so one client-side default header works across
+    every route.
+    """
+    names = {f.name for f in fields(cls)}
+    if "deadline_ms" not in names or "deadline_ms" in data:
+        return data
+    try:
+        ms = int(str(header).strip())
+    except ValueError as exc:
+        raise ConfigError(
+            f"X-Deadline-Ms must be an integer number of "
+            f"milliseconds, got {header!r}") from exc
+    out = dict(data)
+    out["deadline_ms"] = ms
+    return out
 
 
 # ---- response envelopes --------------------------------------------------

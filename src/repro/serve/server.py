@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
 import time
@@ -37,7 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import (DeadlineError, DrainingError, OverloadError,
-                      ServeError)
+                      ReproError, ServeError)
 from ..exec.cache import sim_result_from_json
 from ..exec.executor import Engine, campaign_task, sim_task
 from ..obs.context import (RequestContext, activate, clean_request_id,
@@ -50,7 +51,8 @@ from ..obs.requestlog import open_access_log
 from ..obs.tracing import get_tracer
 from ..obs.tracing import span as _obs_span
 from . import protocol
-from .admission import AdmissionController, ProxyFastPath, TokenBucket
+from .admission import (AdmissionController, CircuitBreaker,
+                        ProxyFastPath, TokenBucket)
 from .batcher import MicroBatcher
 from .slo import SloTracker
 
@@ -85,6 +87,9 @@ class ServeConfig:
     burst: int = 16
     default_deadline_ms: int = 30_000
     drain_timeout_s: float = 5.0
+    breaker_threshold: int = 5         # consecutive failures to trip
+    breaker_reset_s: float = 10.0      # open -> half-open probe delay
+    max_pool_restarts: int = 2         # engine pool rebuilds per batch
     calibration_instructions: int = 384
     warm_fast_path: bool = False
     access_log: Optional[str] = None     # JSON-lines path; None = off
@@ -102,6 +107,7 @@ class ReproServer:
         self.batcher: Optional[MicroBatcher] = None
         self.admission: Optional[AdmissionController] = None
         self.fastpath: Optional[ProxyFastPath] = None
+        self.breakers: Dict[str, CircuitBreaker] = {}
         self.port: Optional[int] = None
         self.slo = SloTracker(
             window_s=self.config.slo_window_s,
@@ -128,7 +134,8 @@ class ReproServer:
         cfg = self.config
         self._configs = {"power9": power9_config(),
                          "power10": power10_config()}
-        self.engine = Engine(workers=cfg.workers, cache=cfg.cache_dir)
+        self.engine = Engine(workers=cfg.workers, cache=cfg.cache_dir,
+                             max_restarts=cfg.max_pool_restarts)
         self.batcher = MicroBatcher(self.engine,
                                     window_s=cfg.window_ms / 1000.0,
                                     max_batch=cfg.max_batch)
@@ -136,6 +143,15 @@ class ReproServer:
                   if cfg.rate_per_s is not None else None)
         self.admission = AdmissionController(
             max_inflight=cfg.max_inflight, bucket=bucket)
+        # one breaker per engine-backed route (/v1/estimate never
+        # touches the engine, so it needs none)
+        self.breakers = {
+            route: CircuitBreaker(
+                route, failure_threshold=cfg.breaker_threshold,
+                reset_s=cfg.breaker_reset_s)
+            for route in (protocol.SimulateRequest.ROUTE,
+                          protocol.CompareRequest.ROUTE,
+                          protocol.InjectRequest.ROUTE)}
         self.fastpath = ProxyFastPath(
             calibration_instructions=cfg.calibration_instructions)
         if cfg.warm_fast_path:
@@ -232,6 +248,12 @@ class ReproServer:
     # ---- route handlers ----------------------------------------------
 
     async def _handle_simulate(self, req: protocol.SimulateRequest):
+        breaker = self.breakers[protocol.SimulateRequest.ROUTE]
+        if not breaker.allow():
+            body = await self._proxy_answer(
+                req.config, req.workload, req.instructions,
+                degraded=True, reason="breaker")
+            return 200, body, {}
         decision = self.admission.decide(degradable=True)
         if not decision.admitted:
             body = await self._proxy_answer(
@@ -239,6 +261,7 @@ class ReproServer:
                 degraded=True, reason=decision.reason)
             return 200, body, {}
         try:
+            deadline_s = self._deadline_s(req.deadline_ms)
             trace = await asyncio.to_thread(
                 self._build_trace, req.workload, req.instructions)
             task = sim_task(self._configs[req.config], trace,
@@ -246,25 +269,37 @@ class ReproServer:
                             tags=_task_tags())
             try:
                 payload = await asyncio.wait_for(
-                    self.batcher.submit(task),
-                    timeout=self._deadline_s(req.deadline_ms))
-            except asyncio.TimeoutError:
+                    self.batcher.submit(task, deadline_s=deadline_s),
+                    timeout=deadline_s)
+            except (asyncio.TimeoutError, DeadlineError):
+                breaker.record_failure()
                 body = await self._proxy_answer(
                     req.config, req.workload, req.instructions,
                     degraded=True, reason="deadline")
                 return 200, body, {}
+            except DrainingError:
+                raise                   # shutdown, not engine health
+            except ReproError:
+                breaker.record_failure()
+                raise
             fields = self._measure(req.config, payload)
             fields["workload"] = req.workload
+            breaker.record_success()
             return 200, protocol.ok_body(fields), {}
         finally:
             self.admission.release()
 
     async def _handle_compare(self, req: protocol.CompareRequest):
+        breaker = self.breakers[protocol.CompareRequest.ROUTE]
+        if not breaker.allow():
+            body = await self._degraded_compare(req, "breaker")
+            return 200, body, {}
         decision = self.admission.decide(degradable=True)
         if not decision.admitted:
             body = await self._degraded_compare(req, decision.reason)
             return 200, body, {}
         try:
+            deadline_s = self._deadline_s(req.deadline_ms)
             traces = [await asyncio.to_thread(self._build_trace, w,
                                               req.instructions)
                       for w in req.workloads]
@@ -273,12 +308,19 @@ class ReproServer:
                      for g in generations for t in traces]
             try:
                 payloads = await asyncio.wait_for(
-                    asyncio.gather(*[self.batcher.submit(t)
-                                     for t in tasks]),
-                    timeout=self._deadline_s(req.deadline_ms))
-            except asyncio.TimeoutError:
+                    asyncio.gather(*[
+                        self.batcher.submit(t, deadline_s=deadline_s)
+                        for t in tasks]),
+                    timeout=deadline_s)
+            except (asyncio.TimeoutError, DeadlineError):
+                breaker.record_failure()
                 body = await self._degraded_compare(req, "deadline")
                 return 200, body, {}
+            except DrainingError:
+                raise
+            except ReproError:
+                breaker.record_failure()
+                raise
             n = len(traces)
             rows = []
             perf = power = wsum = 0.0
@@ -301,6 +343,7 @@ class ReproServer:
                           "perf_ratio": perf / wsum,
                           "power_ratio": power / wsum,
                           "perf_per_watt_ratio": perf / power}}
+            breaker.record_success()
             return 200, protocol.ok_body(result), {}
         finally:
             self.admission.release()
@@ -343,10 +386,20 @@ class ReproServer:
 
     async def _handle_inject(self, req: protocol.InjectRequest):
         from ..resilience.campaign import CampaignConfig
+        breaker = self.breakers[protocol.InjectRequest.ROUTE]
+        if not breaker.allow():
+            # no proxy equivalent exists: reject with the breaker's
+            # own retry hint instead of feeding a sick engine
+            exc = OverloadError(
+                f"circuit breaker open for {req.ROUTE}; retry after "
+                f"{breaker.retry_after_s():.1f}s")
+            retry = str(max(1, int(round(breaker.retry_after_s()))))
+            return 503, protocol.error_body(exc), {"Retry-After": retry}
         decision = self.admission.decide(degradable=False)
         if not decision.admitted:
             return self._reject(decision)
         try:
+            deadline_s = self._deadline_s(req.deadline_ms)
             cconfig = CampaignConfig(
                 seed=req.seed, runs=1, workload=req.workload,
                 instructions=req.instructions,
@@ -354,12 +407,19 @@ class ReproServer:
             task = campaign_task(cconfig, 0, tags=_task_tags())
             try:
                 payload = await asyncio.wait_for(
-                    self.batcher.submit(task),
-                    timeout=self._deadline_s(req.deadline_ms))
-            except asyncio.TimeoutError:
+                    self.batcher.submit(task, deadline_s=deadline_s),
+                    timeout=deadline_s)
+            except (asyncio.TimeoutError, DeadlineError):
+                breaker.record_failure()
                 raise DeadlineError(
                     "fault-injection run missed its deadline (no "
                     "proxy fast path exists for /v1/inject)") from None
+            except DrainingError:
+                raise
+            except ReproError:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
             return 200, protocol.ok_body({"run": payload}), {}
         finally:
             self.admission.release()
@@ -398,8 +458,13 @@ class ReproServer:
                         elif self._draining:
                             raise DrainingError("server is draining")
                         else:
-                            req = cls.from_json(
-                                protocol.decode_json(body))
+                            data = protocol.decode_json(body)
+                            deadline_hdr = req_headers.get(
+                                protocol.DEADLINE_HEADER)
+                            if deadline_hdr is not None:
+                                data = protocol.apply_deadline_header(
+                                    cls, data, deadline_hdr)
+                            req = cls.from_json(data)
                             status, doc, out_headers = \
                                 await self._handlers[path](req)
                 except Exception as exc:  # every error -> structured body
@@ -496,6 +561,8 @@ class ReproServer:
                      "workers": self.engine.workers,
                      "inflight": self.batcher.inflight,
                      "admitted": self.admission.inflight,
+                     "breakers": {route: b.state
+                                  for route, b in self.breakers.items()},
                      "slo": self.slo.snapshot()}
 
     async def _read_request(self, reader):
@@ -576,6 +643,14 @@ class ReproServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                if path in protocol.REQUEST_TYPES \
+                        and os.environ.get("REPRO_CHAOS_DIR"):
+                    # resilience.chaos.ENV_CHAOS_DIR; gating on API
+                    # routes keeps health/metrics scrapes from
+                    # consuming a conn_drop token
+                    from ..resilience.chaos import chaos_point
+                    if chaos_point("conn") is not None:
+                        break           # abrupt drop: no response
                 status, doc, extra = await self._dispatch(
                     method, path, headers, body)
                 keep = (headers.get("connection", "").lower() != "close"

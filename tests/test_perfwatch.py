@@ -10,15 +10,17 @@ from repro.exec.perfwatch import (build_baseline, collect_current,
                                   run_perfwatch)
 
 
-def _write_bench(root, scenarios, serve_p99=None):
+def _write_bench(root, scenarios, serve_p99=None, availability=None):
     root.mkdir(parents=True, exist_ok=True)
     for name, wall in scenarios.items():
         (root / f"BENCH_{name}.json").write_text(json.dumps(
             {"scenario": name, "wall_s": wall}))
     if serve_p99 is not None:
-        (root / "BENCH_serve.json").write_text(json.dumps(
-            {"schema": 2, "latency_s": {"p50": serve_p99 / 2.0,
-                                        "p99": serve_p99}}))
+        doc = {"schema": 2, "latency_s": {"p50": serve_p99 / 2.0,
+                                          "p99": serve_p99}}
+        if availability is not None:
+            doc["availability"] = {"rate": availability}
+        (root / "BENCH_serve.json").write_text(json.dumps(doc))
     return root
 
 
@@ -105,6 +107,84 @@ class TestCompare:
                            tolerance=0.1)["ok"]
 
 
+class TestAvailability:
+    def test_collect_reads_availability_rate(self, tmp_path):
+        _write_bench(tmp_path, {"fig05": 1.0}, serve_p99=0.8,
+                     availability=0.9)
+        cur = collect_current(tmp_path)
+        # "serve" must stay a bare float for old consumers;
+        # availability is its own top-level key
+        assert cur["serve"] == 0.8
+        assert cur["availability"] == 0.9
+
+    def test_reports_without_availability_still_collect(self, tmp_path):
+        _write_bench(tmp_path, {"fig05": 1.0}, serve_p99=0.8)
+        cur = collect_current(tmp_path)
+        assert cur["serve"] == 0.8
+        assert cur["availability"] is None
+
+    def test_baseline_pins_rate_with_max_drop(self):
+        cur = {"scenarios": {"fig05": 1.0}, "serve": 0.5,
+               "availability": 1.0}
+        base = build_baseline(cur, tolerance=0.1)
+        assert base["availability"]["rate"] == 1.0
+        assert base["availability"]["max_drop"] > 0
+
+    def test_drop_beyond_budget_regresses(self):
+        cur = {"scenarios": {}, "serve": 0.5, "availability": 1.0}
+        base = build_baseline(cur, tolerance=0.1)
+        base["availability"]["max_drop"] = 0.1
+        report = compare(base, {"scenarios": {}, "serve": 0.5,
+                                "availability": 0.8})
+        assert not report["ok"]
+        row = next(r for r in report["rows"]
+                   if r["name"] == "serve:availability")
+        assert row["status"] == "regression"
+        assert row["drop"] == pytest.approx(0.2)
+
+    def test_drop_within_budget_passes(self):
+        cur = {"scenarios": {}, "serve": 0.5, "availability": 1.0}
+        base = build_baseline(cur, tolerance=0.1)
+        base["availability"]["max_drop"] = 0.25
+        assert compare(base, {"scenarios": {}, "serve": 0.5,
+                              "availability": 0.9})["ok"]
+
+    def test_availability_improvement_never_fails(self):
+        base = build_baseline({"scenarios": {}, "serve": 0.5,
+                               "availability": 0.7}, tolerance=0.1)
+        assert compare(base, {"scenarios": {}, "serve": 0.5,
+                              "availability": 1.0})["ok"]
+
+    def test_old_baseline_without_availability_still_works(self):
+        base = build_baseline({"scenarios": {"fig05": 1.0},
+                               "serve": None}, tolerance=0.1)
+        assert "availability" not in base
+        report = compare(base, {"scenarios": {"fig05": 1.0},
+                                "serve": None, "availability": 0.5})
+        assert report["ok"]
+        assert all(r["name"] != "serve:availability"
+                   for r in report["rows"])
+
+    def test_chaos_artifact_is_ignored(self, tmp_path):
+        _write_bench(tmp_path, {"fig05": 1.0})
+        (tmp_path / "BENCH_chaos.json").write_text(
+            json.dumps({"schema": 1, "phases": []}))
+        assert collect_current(tmp_path)["scenarios"] == {"fig05": 1.0}
+
+    def test_availability_watch_end_to_end(self, tmp_path, capsys):
+        bench = _write_bench(tmp_path / "bench", {"fig05": 1.0},
+                             serve_p99=0.4, availability=1.0)
+        baseline = tmp_path / "perf-baseline.json"
+        assert run_perfwatch(bench, baseline, tolerance=0.5,
+                             update_baseline=True) == 0
+        _write_bench(bench, {"fig05": 1.0}, serve_p99=0.4,
+                     availability=0.5)
+        assert run_perfwatch(bench, baseline, tolerance=0.5) == 1
+        out = capsys.readouterr().out
+        assert "serve:availability" in out
+        assert "FAIL" in out
+
+
 class TestRunPerfwatch:
     def test_update_then_rerun_roundtrip(self, tmp_path, capsys):
         bench = _write_bench(tmp_path / "bench",
@@ -163,3 +243,7 @@ class TestCommittedBaseline:
         doc = load_baseline(path)
         assert doc["scenarios"], "committed baseline has no scenarios"
         assert float(doc.get("default_tolerance", 0.0)) >= 2.0
+        avail = doc["availability"]
+        assert 0.0 < avail["rate"] <= 1.0
+        # generous: cross-machine load variance must not trip it
+        assert avail["max_drop"] >= 0.2

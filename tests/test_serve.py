@@ -380,6 +380,176 @@ class TestDrain:
         with pytest.raises(ServeError):
             client.request("/healthz", method="GET")
 
+    def test_drain_with_chaos_fault_active_never_hangs(self, tmp_path):
+        """Kill a pool worker mid-drain: every waiter must still get a
+        well-formed structured body (shutting_down / deadline_exceeded
+        / a real answer), never a hang."""
+        from repro.resilience.chaos import ServiceFault, service_chaos
+        with service_chaos([ServiceFault("worker_kill")], tmp_path):
+            handle = start_in_thread(ServeConfig(
+                window_ms=1.0, workers=2, drain_timeout_s=0.3))
+            outcome = {}
+
+            def slow_request():
+                client = _client(handle, timeout_s=120.0)
+                outcome["resp"] = client.request(
+                    "/v1/simulate", {"workload": "pointer-chase",
+                                     "instructions": 50_000})
+
+            worker = threading.Thread(target=slow_request)
+            worker.start()
+            try:
+                client = _client(handle)
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if client.healthz().get("inflight", 0) >= 1:
+                        break
+                    time.sleep(0.02)
+                else:
+                    pytest.fail("request never reached the batcher")
+                handle.stop()
+            finally:
+                worker.join(timeout=120)
+            assert not worker.is_alive()           # never a hang
+            resp = outcome["resp"]
+            body = resp.body
+            if body.get("ok"):
+                assert "result" in body            # finished in budget
+            else:
+                assert body["error"]["code"] in (
+                    "shutting_down", "deadline_exceeded", "model_error")
+
+
+# ---- deadline propagation ------------------------------------------------
+
+class TestDeadline:
+    def test_header_folds_into_the_request(self):
+        from repro.serve import protocol
+        data = protocol.apply_deadline_header(
+            SimulateRequest, {"workload": "daxpy"}, "1500")
+        assert data["deadline_ms"] == 1500
+        # the body field wins over the header
+        data = protocol.apply_deadline_header(
+            SimulateRequest, {"deadline_ms": 7}, "1500")
+        assert data["deadline_ms"] == 7
+        # routes without a deadline field ignore the header
+        data = protocol.apply_deadline_header(
+            EstimateRequest, {"workload": "daxpy"}, "1500")
+        assert "deadline_ms" not in data
+
+    def test_bad_header_is_a_400(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        try:
+            resp = _client(handle).request(
+                "/v1/simulate", {"workload": "daxpy",
+                                 "instructions": 300},
+                deadline_ms=None)
+            assert resp.ok
+            raw = _client(handle)._once(
+                "POST", "/v1/simulate", {"workload": "daxpy"},
+                None, "not-a-number")
+            assert raw.status == 400
+            assert raw.body["error"]["code"] == "bad_request"
+        finally:
+            handle.stop()
+
+    def test_impossible_deadline_degrades_simulate(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        try:
+            client = _client(handle, timeout_s=120.0)
+            resp = client.request(
+                "/v1/simulate", {"workload": "pointer-chase",
+                                 "instructions": 50_000},
+                deadline_ms=1)
+            assert resp.status == 200
+            assert resp.ok and resp.degraded
+            assert resp.body["shed_reason"] == "deadline"
+            assert resp.body["source"] == "proxy"
+        finally:
+            handle.stop()
+
+    def test_impossible_deadline_rejects_inject_with_504(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        try:
+            client = _client(handle, timeout_s=120.0)
+            resp = client.request(
+                "/v1/inject", {"workload": "xz",
+                               "instructions": 5_000,
+                               "deadline_ms": 1})
+            assert resp.status == 504
+            assert resp.body["error"]["code"] == "deadline_exceeded"
+        finally:
+            handle.stop()
+
+
+# ---- the per-route circuit breaker ---------------------------------------
+
+class TestBreakerIntegration:
+    def test_engine_failures_trip_the_breaker(self, tmp_path):
+        """With restarts disabled, one worker kill fails the request
+        (500 model_error), trips the one-failure breaker, and every
+        later simulate is served degraded without touching the
+        engine; inject gets a 503 with the breaker's retry hint."""
+        from repro.resilience.chaos import ServiceFault, service_chaos
+        faults = [ServiceFault("worker_kill")] * 4
+        with service_chaos(faults, tmp_path):
+            handle = start_in_thread(ServeConfig(
+                window_ms=1.0, workers=2, max_pool_restarts=0,
+                breaker_threshold=1, breaker_reset_s=60.0))
+            try:
+                client = _client(handle, timeout_s=120.0)
+                first = client.request(
+                    "/v1/simulate", {"workload": "daxpy",
+                                     "instructions": 400})
+                assert first.status == 500
+                assert first.body["error"]["code"] == "model_error"
+
+                health = client.healthz()
+                assert health["breakers"]["/v1/simulate"] == "open"
+
+                shed = client.simulate(workload="daxpy",
+                                       instructions=400)
+                assert shed.ok and shed.degraded
+                assert shed.body["shed_reason"] == "breaker"
+
+                # estimate never routes through the engine: no breaker
+                est = client.estimate(workload="daxpy",
+                                      instructions=400)
+                assert est.ok and not est.degraded
+            finally:
+                handle.stop()
+
+    def test_open_inject_breaker_rejects_with_retry_hint(self):
+        handle = start_in_thread(ServeConfig(
+            window_ms=1.0, breaker_threshold=1, breaker_reset_s=60.0))
+        try:
+            # trip the inject breaker via an impossible deadline
+            client = _client(handle, timeout_s=120.0)
+            resp = client.request(
+                "/v1/inject", {"workload": "xz",
+                               "instructions": 5_000,
+                               "deadline_ms": 1})
+            assert resp.status == 504
+            resp = client.request(
+                "/v1/inject", {"workload": "xz", "instructions": 400})
+            assert resp.status == 503
+            assert resp.body["error"]["code"] == "overloaded"
+            assert "circuit breaker open" in resp.body["error"]["message"]
+            assert resp.body["_retry_after_s"] >= 1.0
+        finally:
+            handle.stop()
+
+    def test_healthz_reports_breaker_states(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        try:
+            health = _client(handle).healthz()
+            assert health["breakers"] == {
+                "/v1/simulate": "closed",
+                "/v1/compare": "closed",
+                "/v1/inject": "closed"}
+        finally:
+            handle.stop()
+
 
 # ---- load generation -----------------------------------------------------
 
@@ -433,3 +603,52 @@ class TestLoadgen:
             LoadgenConfig(requests=0)
         with pytest.raises(ServeError):
             LoadgenConfig(rate_per_s=0)
+
+    def test_report_carries_availability_section(self):
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        try:
+            report = run_loadgen(LoadgenConfig(
+                seed=5, requests=8, rate_per_s=50.0,
+                host="127.0.0.1", port=handle.port))
+        finally:
+            handle.stop()
+        avail = report["availability"]
+        assert avail["good"] == report["ok"] - report["degraded"]
+        assert avail["degraded"] == report["degraded"]
+        assert (avail["good"] + avail["degraded"] + avail["rejected"]
+                + avail["failed"]) == report["requests"]
+        assert avail["rate"] == report["ok"] / report["requests"]
+        assert 0.0 <= avail["rate"] <= 1.0
+
+    def test_refusals_count_as_rejected_not_failed(self):
+        # a drained port refuses connections -> every request is a
+        # connection failure, i.e. failed, never rejected
+        handle = start_in_thread(ServeConfig(window_ms=1.0))
+        port = handle.port
+        handle.stop()
+        report = run_loadgen(LoadgenConfig(
+            seed=1, requests=4, rate_per_s=200.0,
+            host="127.0.0.1", port=port, timeout_s=5.0))
+        avail = report["availability"]
+        assert avail["failed"] == 4
+        assert avail["rejected"] == 0
+        assert avail["rate"] == 0.0
+
+
+class TestClientJitter:
+    def test_caller_owned_rng_wins_over_jitter_seed(self):
+        import random
+        shared = random.Random(7)
+        client = ServeClient(rng=shared, jitter_seed=99)
+        assert client._rng is shared
+
+    def test_backoff_is_deterministic_per_seed(self):
+        import random
+        a = ServeClient(rng=random.Random(3))
+        b = ServeClient(rng=random.Random(3))
+        c = ServeClient(jitter_seed=4)
+        seq_a = [a._backoff_s(i, None) for i in range(4)]
+        seq_b = [b._backoff_s(i, None) for i in range(4)]
+        seq_c = [c._backoff_s(i, None) for i in range(4)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
