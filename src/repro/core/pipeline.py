@@ -170,6 +170,36 @@ class SimResult:
         return self.flops / self.cycles if self.cycles else 0.0
 
 
+def build_ports(issue) -> Dict[InstrClass, _Ports]:
+    """The per-class execution-port map for an ``IssueConfig``.
+
+    Shared by :class:`CorePipeline` and the fast replay tier
+    (:mod:`repro.fastsim`) so both tiers arbitrate issue bandwidth
+    through bit-identical port state machines.
+    """
+    ports: Dict[InstrClass, _Ports] = {
+        InstrClass.FX: _Ports(issue.fx_ports),
+        InstrClass.FX_MULDIV: _Ports(issue.fx_muldiv_ports, 4),
+        InstrClass.LOAD: _Ports(issue.load_ports),
+        InstrClass.VSX_LOAD: _Ports(issue.load_ports),
+        InstrClass.STORE: _Ports(issue.store_ports),
+        InstrClass.VSX_STORE: _Ports(issue.store_ports),
+        InstrClass.BRANCH: _Ports(issue.branch_ports),
+        InstrClass.BRANCH_IND: _Ports(issue.branch_ports),
+        InstrClass.FP: _Ports(issue.vsx_ports),
+        InstrClass.VSX: _Ports(issue.vsx_ports),
+        InstrClass.CR: _Ports(max(1, issue.branch_ports)),
+        InstrClass.SYSTEM: _Ports(1, 8),
+    }
+    if issue.mma_present:
+        ports[InstrClass.MMA] = _Ports(issue.mma_ops_per_cycle)
+        ports[InstrClass.MMA_MOVE] = _Ports(1)
+    # Loads and VSX loads share the same physical AGEN ports:
+    ports[InstrClass.VSX_LOAD] = ports[InstrClass.LOAD]
+    ports[InstrClass.VSX_STORE] = ports[InstrClass.STORE]
+    return ports
+
+
 class CorePipeline:
     """One core instance: predictors, caches, MMU, fusion and ports."""
 
@@ -181,28 +211,7 @@ class CorePipeline:
         self.mmu = MMU(config.mmu.erat_entries, config.mmu.tlb_entries,
                        config.mmu.tlb_latency, config.mmu.walk_latency)
         self.fusion = FusionEngine(config.front_end.fusion_enabled)
-
-        issue = config.issue
-        self._ports: Dict[InstrClass, _Ports] = {
-            InstrClass.FX: _Ports(issue.fx_ports),
-            InstrClass.FX_MULDIV: _Ports(issue.fx_muldiv_ports, 4),
-            InstrClass.LOAD: _Ports(issue.load_ports),
-            InstrClass.VSX_LOAD: _Ports(issue.load_ports),
-            InstrClass.STORE: _Ports(issue.store_ports),
-            InstrClass.VSX_STORE: _Ports(issue.store_ports),
-            InstrClass.BRANCH: _Ports(issue.branch_ports),
-            InstrClass.BRANCH_IND: _Ports(issue.branch_ports),
-            InstrClass.FP: _Ports(issue.vsx_ports),
-            InstrClass.VSX: _Ports(issue.vsx_ports),
-            InstrClass.CR: _Ports(max(1, issue.branch_ports)),
-            InstrClass.SYSTEM: _Ports(1, 8),
-        }
-        if issue.mma_present:
-            self._ports[InstrClass.MMA] = _Ports(issue.mma_ops_per_cycle)
-            self._ports[InstrClass.MMA_MOVE] = _Ports(1)
-        # Loads and VSX loads share the same physical AGEN ports:
-        self._ports[InstrClass.VSX_LOAD] = self._ports[InstrClass.LOAD]
-        self._ports[InstrClass.VSX_STORE] = self._ports[InstrClass.STORE]
+        self._ports: Dict[InstrClass, _Ports] = build_ports(config.issue)
 
     def latency_of(self, instr: Instruction) -> int:
         # The POWER10 unified register file adds a pipeline stage, but

@@ -48,7 +48,7 @@ _KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
 # "telemetry off => bit-identical results" guarantee, so their changes
 # cannot change model output.
 _SALT_PACKAGES = ("core", "power", "pm", "workloads", "reliability",
-                  "resilience", "tracegen", "exec")
+                  "resilience", "tracegen", "exec", "fastsim")
 
 _code_salt: Optional[str] = None
 

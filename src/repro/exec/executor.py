@@ -108,6 +108,16 @@ def _run_sim(payload) -> Dict[str, object]:
     return sim_result_to_json(result)
 
 
+def _run_sim_fast(payload) -> Dict[str, object]:
+    from ..fastsim.replay import simulate_fast
+    config, trace, params = payload
+    result = simulate_fast(
+        config, trace,
+        max_instructions=params.get("max_instructions"),
+        warmup_fraction=params.get("warmup_fraction", 0.0))
+    return sim_result_to_json(result)
+
+
 # Per-process campaign-runner cache: building a CampaignRunner resolves
 # the workload trace and the golden reference once, which every
 # subsequent run_one() of the same campaign reuses.
@@ -127,8 +137,14 @@ def _run_campaign(payload) -> Dict[str, object]:
 
 _TASK_RUNNERS = {
     "sim": _run_sim,
+    "sim_fast": _run_sim_fast,
     "campaign": _run_campaign,
 }
+
+# simulation tier -> task kind; the kind is the first component of
+# task_fingerprint, so detailed- and fast-tier runs of the same
+# (config, trace, params) can never share a cache entry
+_SIM_KINDS = {"detailed": "sim", "fast": "sim_fast"}
 
 
 def register_task_kind(kind: str, runner) -> None:
@@ -177,13 +193,26 @@ def _execute_task_traced(task: ExecTask,
 def sim_task(config: CoreConfig, trace, *,
              warmup_fraction: float = 0.0,
              max_instructions: Optional[int] = None,
+             tier: str = "detailed",
              tags: Tuple[str, ...] = ()) -> ExecTask:
-    """A timing-model run as a pure task."""
+    """A timing-model run as a pure task.
+
+    ``tier`` selects the simulator tier (``"detailed"`` | ``"fast"``).
+    The tier is part of the task fingerprint — via the kind *and* the
+    params — so a warm detailed-tier cache can never answer a fast-tier
+    request or vice versa.
+    """
+    kind = _SIM_KINDS.get(tier)
+    if kind is None:
+        from ..fastsim.dispatch import validate_tier
+        validate_tier(tier)                      # raises with tier list
     params = {"warmup_fraction": warmup_fraction,
               "max_instructions": max_instructions}
-    key = task_fingerprint("sim", fingerprint_config(config),
+    if tier != "detailed":
+        params["tier"] = tier
+    key = task_fingerprint(kind, fingerprint_config(config),
                            fingerprint_trace(trace), params)
-    return ExecTask(kind="sim", key=key,
+    return ExecTask(kind=kind, key=key,
                     payload=(config, trace, params), tags=tuple(tags))
 
 
@@ -492,7 +521,7 @@ def run_sim_plan(engine: Engine, tasks: Sequence[ExecTask],
                  ) -> List[SimResult]:
     """Execute sim tasks and decode the payloads back to SimResults."""
     for task in tasks:
-        if task.kind != "sim":
+        if task.kind not in ("sim", "sim_fast"):
             raise ExecError(
                 f"run_sim_plan got a {task.kind!r} task")
     return [sim_result_from_json(p)

@@ -1,0 +1,51 @@
+"""Tier selection: route a simulation to the detailed oracle or replay.
+
+``tier="detailed"`` is the bit-honest reference pipeline
+(:func:`repro.core.pipeline.simulate`); ``tier="fast"`` is the columnar
+replay (:func:`repro.fastsim.replay.simulate_fast`).  Everything above
+this module — ``core.simulator``, ``exec.figs``, the CLI — selects a
+tier by name and never imports the replay machinery directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.config import CoreConfig
+from ..core.pipeline import SimResult, simulate
+from ..errors import SimulationError
+
+TIERS = ("detailed", "fast")
+
+
+def validate_tier(tier: str) -> str:
+    """Return ``tier`` if it names a known tier, else raise."""
+    if tier not in TIERS:
+        raise SimulationError(
+            f"unknown simulation tier {tier!r}; expected one of {TIERS}")
+    return tier
+
+
+def simulate_tiered(config: CoreConfig, trace, *,
+                    tier: str = "detailed",
+                    sampler=None,
+                    warmup_fraction: float = 0.0,
+                    max_instructions: Optional[int] = None) -> SimResult:
+    """Run one trace on the selected tier.
+
+    The fast tier rejects samplers (interval telemetry needs the
+    serial detailed loop); callers that hold a sampler must stay on
+    ``tier="detailed"``.
+    """
+    validate_tier(tier)
+    if tier == "detailed":
+        return simulate(config, trace, sampler=sampler,
+                        warmup_fraction=warmup_fraction,
+                        max_instructions=max_instructions)
+    if sampler is not None:
+        raise SimulationError(
+            "interval samplers require tier='detailed'")
+    from .replay import simulate_fast
+    return simulate_fast(config, trace,
+                         warmup_fraction=warmup_fraction,
+                         max_instructions=max_instructions)

@@ -1,0 +1,108 @@
+"""Array-at-a-time power evaluation over many activity records.
+
+Evaluates the existing Einspower coefficients (``power/components.py``,
+``config.power``) for a whole batch of runs at once: event counts and
+unit utilizations become (runs x events) / (runs x units) matrices and
+every component's clock/switch/ghost terms are computed as vectors over
+the batch.  The arithmetic replicates
+:meth:`repro.power.einspower.EinspowerModel._report` term by term and
+in the same accumulation order, so per-run totals are bit-identical to
+the scalar model — ``tests/test_fastsim_diff.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.activity import ActivityCounters, EVENT_NAMES, UNIT_NAMES
+from ..core.config import CoreConfig
+from ..errors import ModelError
+from ..power.components import COMPONENTS
+
+_EV_IDX = {ev: i for i, ev in enumerate(EVENT_NAMES)}
+_UNIT_IDX = {u: i for i, u in enumerate(UNIT_NAMES)}
+
+
+@dataclass
+class BatchPower:
+    """Per-run power totals for a batch of activity records."""
+
+    config_name: str
+    total_w: np.ndarray
+    dynamic_w: np.ndarray
+    clock_w: np.ndarray
+    idle_clock_w: np.ndarray
+    active_w: np.ndarray
+    leakage_w: float
+    mma_leakage_w: float
+    frequency_ghz: float
+
+    def __len__(self) -> int:
+        return len(self.total_w)
+
+
+def batch_power(config: CoreConfig,
+                activities: Sequence[ActivityCounters], *,
+                mma_powered: bool = True) -> BatchPower:
+    """Evaluate Einspower for every activity record in one pass."""
+    if not activities:
+        raise ModelError("batch_power needs at least one activity record")
+    for act in activities:
+        if act.cycles <= 0:
+            raise ModelError("activity has no cycles; run a simulation")
+
+    pcfg = config.power
+    floor = pcfg.gating_floor
+    runs = len(activities)
+    counts = np.empty((runs, len(EVENT_NAMES)), dtype=np.float64)
+    utils = np.empty((runs, len(UNIT_NAMES)), dtype=np.float64)
+    cycles = np.empty(runs, dtype=np.float64)
+    for r, act in enumerate(activities):
+        ev = act.events
+        counts[r] = [ev[name] for name in EVENT_NAMES]
+        utils[r] = [act.utilization(u) for u in UNIT_NAMES]
+        cycles[r] = act.cycles
+    runtime_ns = cycles / pcfg.frequency_ghz
+
+    dynamic = np.zeros(runs)
+    clock_total = np.zeros(runs)
+    idle_clock = np.zeros(runs)
+    for comp in COMPONENTS:
+        unit_w = pcfg.unit_clock_w.get(comp.unit, 0.0)
+        share_w = unit_w * comp.clock_share
+        util = utils[:, _UNIT_IDX[comp.unit]]
+        if comp.unit == "mma" and not mma_powered:
+            clock_w = np.zeros(runs)
+        else:
+            clock_w = share_w * (floor + (1.0 - floor) * util)
+            idle_clock = idle_clock + share_w * floor
+        event_pj = np.zeros(runs)
+        for ev_name in comp.events:
+            event_pj = event_pj + (counts[:, _EV_IDX[ev_name]]
+                                   * pcfg.energy.energy_pj(ev_name))
+        switch_w = event_pj / runtime_ns / 1000.0
+        if comp.category in ("array", "rf"):
+            ghost_w = pcfg.ghost_factor * switch_w
+        else:
+            ghost_w = np.zeros(runs)
+        dynamic = dynamic + ((clock_w + switch_w) + ghost_w)
+        clock_total = clock_total + clock_w
+
+    mma_leak = pcfg.mma_leakage_w if (
+        config.issue.mma_present and mma_powered) else 0.0
+    total = dynamic + pcfg.leakage_w + mma_leak
+    active = np.maximum(
+        0.0, total - pcfg.leakage_w - mma_leak - idle_clock)
+    return BatchPower(
+        config_name=config.name,
+        total_w=total,
+        dynamic_w=dynamic,
+        clock_w=clock_total,
+        idle_clock_w=idle_clock,
+        active_w=active,
+        leakage_w=pcfg.leakage_w,
+        mma_leakage_w=mma_leak,
+        frequency_ghz=pcfg.frequency_ghz)

@@ -59,6 +59,7 @@ WELL_KNOWN_METRICS: Dict[str, str] = {
     "repro_serve_breaker_transitions_total": "counter",
     "repro_serve_breaker_state": "gauge",
     "repro_chaos_faults_fired_total": "counter",
+    "repro_fast_simulations_total": "counter",
 }
 
 # Quantiles reported in every histogram snapshot (and scraped by the

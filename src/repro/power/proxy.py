@@ -25,7 +25,6 @@ from ..analysis.regression import (FitResult, GreedyFeatureSelector,
                                    mean_abs_pct_error)
 from ..core.activity import EVENT_NAMES
 from ..core.config import CoreConfig
-from ..core.pipeline import simulate
 from ..errors import ModelError
 from .einspower import EinspowerModel
 
@@ -99,9 +98,15 @@ class DesignPoint:
 class PowerProxyDesigner:
     """Runs the counter-selection methodology for one configuration."""
 
-    def __init__(self, config: CoreConfig):
+    def __init__(self, config: CoreConfig, *, tier: str = "detailed"):
         self.config = config
         self._reference = EinspowerModel(config)
+        self.tier = tier
+
+    def _simulate(self, trace, *, warmup_fraction: float):
+        from ..fastsim.dispatch import simulate_tiered
+        return simulate_tiered(self.config, trace, tier=self.tier,
+                               warmup_fraction=warmup_fraction)
 
     def characterize(self, traces, *, warmup_fraction: float = 0.3):
         """Run workloads, returning (features, active_w, total_w)."""
@@ -109,8 +114,8 @@ class PowerProxyDesigner:
         active: List[float] = []
         total: List[float] = []
         for trace in traces:
-            result = simulate(self.config, trace,
-                              warmup_fraction=warmup_fraction)
+            result = self._simulate(trace,
+                                    warmup_fraction=warmup_fraction)
             rate_rows.append(dict(result.activity.rates()))
             report = self._reference.report(result.activity)
             active.append(report.active_w)
@@ -170,8 +175,7 @@ class PowerProxyDesigner:
         events per sample — reproducing the error blow-up below
         ~50 cycles.
         """
-        base = simulate(self.config, trace,
-                        warmup_fraction=warmup_fraction)
+        base = self._simulate(trace, warmup_fraction=warmup_fraction)
         base_cpi = base.cpi
         errors: Dict[int, float] = {}
         for cycles in window_cycles:
@@ -182,8 +186,7 @@ class PowerProxyDesigner:
             truth = []
             for window in trace.windows(instr_per_window):
                 steady = window.repeated(4)
-                result = simulate(self.config, steady,
-                                  warmup_fraction=0.5)
+                result = self._simulate(steady, warmup_fraction=0.5)
                 rate_rows.append(dict(result.activity.rates()))
                 truth.append(
                     self._reference.report(result.activity).total_w)

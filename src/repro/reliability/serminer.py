@@ -29,7 +29,6 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..core.config import CoreConfig
-from ..core.pipeline import simulate
 from ..errors import ModelError
 from .latches import LatchGroup, LatchPopulation, build_population
 
@@ -49,21 +48,28 @@ class DeratingResult:
 
 
 class SERMiner:
-    """Derating analysis driver for one core configuration."""
+    """Derating analysis driver for one core configuration.
+
+    ``tier`` selects the simulation tier for the switching-activity
+    runs (``"detailed"`` | ``"fast"``; see :mod:`repro.fastsim`).
+    """
 
     def __init__(self, config: CoreConfig,
-                 population: LatchPopulation = None):
+                 population: LatchPopulation = None, *,
+                 tier: str = "detailed"):
         self.config = config
         self.population = population or build_population(config)
+        self.tier = tier
 
     def _switching_matrix(self, traces,
                           warmup_fraction: float) -> np.ndarray:
         """latch-group x workload switching activity."""
+        from ..fastsim.dispatch import simulate_tiered
         rows: List[List[float]] = []
         groups = self.population.groups
         for trace in traces:
-            result = simulate(self.config, trace,
-                              warmup_fraction=warmup_fraction)
+            result = simulate_tiered(self.config, trace, tier=self.tier,
+                                     warmup_fraction=warmup_fraction)
             data_scale = 1.0
             if trace.metadata.get("data_init") == "zero":
                 data_scale = 0.06
@@ -126,11 +132,13 @@ def protection_candidates(miner: SERMiner, traces, *,
 def compare_generations(p9_config: CoreConfig, p10_config: CoreConfig,
                         traces, *,
                         vt_values: Sequence[int] = tuple(
-                            range(10, 100, 10))) -> Dict[str, DeratingResult]:
+                            range(10, 100, 10)),
+                        tier: str = "detailed",
+                        ) -> Dict[str, DeratingResult]:
     """Fig. 14: POWER9 vs POWER10 derating averaged across workloads."""
     out = {}
     for config in (p9_config, p10_config):
-        miner = SERMiner(config)
+        miner = SERMiner(config, tier=tier)
         out[config.name] = miner.analyze(
             traces, vt_values=vt_values, workload_set="all")
     return out

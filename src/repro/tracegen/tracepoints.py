@@ -51,7 +51,8 @@ def build_tracepoint(config: CoreConfig, trace: Trace, *,
                      bins: int = 6,
                      epochs_to_select: int = 8,
                      metrics: Sequence[str] = ("cpi", "llc_misses"),
-                     mma_aware: bool = False) -> TracepointResult:
+                     mma_aware: bool = False,
+                     tier: str = "detailed") -> TracepointResult:
     """Build a representative trace from epoch histograms.
 
     Epochs are histogrammed on the requested metrics; the selection
@@ -65,7 +66,8 @@ def build_tracepoint(config: CoreConfig, trace: Trace, *,
     if epochs_to_select <= 0:
         raise TraceError("must select at least one epoch")
     epochs = collect_epochs(config, trace,
-                            epoch_instructions=epoch_instructions)
+                            epoch_instructions=epoch_instructions,
+                            tier=tier)
     if len(epochs) < epochs_to_select:
         epochs_to_select = len(epochs)
     aggregate = aggregate_counters(epochs)
@@ -135,12 +137,15 @@ def build_tracepoint(config: CoreConfig, trace: Trace, *,
 
 
 def validate_against_reference(config: CoreConfig, original: Trace,
-                               representative: Trace) -> Dict[str, float]:
+                               representative: Trace, *,
+                               tier: str = "detailed") -> Dict[str, float]:
     """Validate a representative trace against the full run (the paper
     validates Tracepoints against real POWER9 hardware)."""
-    from ..core.pipeline import simulate
-    full = simulate(config, original, warmup_fraction=0.2)
-    rep = simulate(config, representative, warmup_fraction=0.2)
+    from ..fastsim.dispatch import simulate_tiered
+    full = simulate_tiered(config, original, tier=tier,
+                           warmup_fraction=0.2)
+    rep = simulate_tiered(config, representative, tier=tier,
+                          warmup_fraction=0.2)
     return {
         "full_cpi": full.cpi,
         "representative_cpi": rep.cpi,

@@ -1,0 +1,291 @@
+"""Differential fidelity harness: the fast tier against the oracle.
+
+The detailed simulator (:mod:`repro.core.pipeline`) is the accuracy
+reference; the vectorized fast tier (:mod:`repro.fastsim`) must agree
+with it on every registered workload *and* on adversarial synthetic
+traces that hypothesis invents.  The agreement contract is deliberately
+two-layered:
+
+* the rtol-form contract the golden harness enforces (cycles, IPC,
+  energy within tolerance), and
+* **exact** equality of every derived event count — the activity
+  extraction is lossless by construction, so any drift at all means a
+  replay rule diverged from the pipeline.
+
+The harness also proves its own teeth: perturbing a fast-path timing
+constant or an energy coefficient must trip the comparison (the same
+self-test discipline as the fig05 golden tripwire).
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.config
+from repro.core import power9_config, power10_config
+from repro.core.isa import Instruction, InstrClass
+from repro.core.pipeline import simulate
+from repro.errors import SimulationError
+from repro.fastsim import batch_power, simulate_fast, simulate_tiered
+from repro.power.einspower import EinspowerModel
+from repro.workloads import resolve_workload, workload_names
+from repro.workloads.trace import Trace
+
+RTOL = 1e-9
+
+
+def assert_results_equivalent(detailed, fast, *, rtol=RTOL):
+    """The full agreement contract between the two tiers."""
+    # rtol-form contract (what the golden harness enforces)
+    assert math.isclose(detailed.cycles, fast.cycles, rel_tol=rtol)
+    assert math.isclose(detailed.ipc, fast.ipc, rel_tol=rtol)
+    # exact contract: the extraction is lossless, so derived counts
+    # must match to the instruction
+    assert fast.cycles == detailed.cycles
+    assert fast.instructions == detailed.instructions
+    assert fast.mispredicts == detailed.mispredicts
+    assert fast.flushed_instructions == detailed.flushed_instructions
+    assert fast.flops == detailed.flops
+    assert fast.l1d_miss_rate == detailed.l1d_miss_rate
+    assert fast.l2_miss_rate == detailed.l2_miss_rate
+    assert fast.fusion_rate == detailed.fusion_rate
+    assert fast.branch_mpki == detailed.branch_mpki
+    assert dict(fast.activity.events) == dict(detailed.activity.events)
+    assert dict(fast.activity.unit_busy_cycles) \
+        == dict(detailed.activity.unit_busy_cycles)
+    assert fast.activity.cycles == detailed.activity.cycles
+    assert fast.activity.instructions == detailed.activity.instructions
+
+
+def assert_energy_equivalent(config, detailed, fast, *, rtol=RTOL):
+    ref = EinspowerModel(config).report(detailed.activity)
+    batch = batch_power(config, [fast.activity])
+    assert math.isclose(ref.total_w, batch.total_w[0], rel_tol=rtol)
+    assert math.isclose(ref.dynamic_w, batch.dynamic_w[0],
+                        rel_tol=rtol)
+    assert math.isclose(ref.active_w, batch.active_w[0], rel_tol=rtol,
+                        abs_tol=1e-12)
+
+
+# ---------------------------------------------------------------------
+# Every registered workload, multiple configs and warmups.
+# ---------------------------------------------------------------------
+
+_CONFIG_BUILDERS = {
+    "p10": lambda: power10_config(),
+    "p9": lambda: power9_config(),
+    "p10-smt4": lambda: power10_config(smt=4),
+}
+
+
+@pytest.mark.parametrize("workload", workload_names())
+@pytest.mark.parametrize("cfg_name", list(_CONFIG_BUILDERS))
+def test_registered_workloads_agree(workload, cfg_name):
+    config = _CONFIG_BUILDERS[cfg_name]()
+    trace = resolve_workload(workload, 2500)
+    for warmup in (0.0, 0.3):
+        try:
+            detailed = simulate(config, trace,
+                                warmup_fraction=warmup)
+        except SimulationError as exc:
+            # e.g. MMA workloads on POWER9: the fast tier must refuse
+            # with the identical diagnostic, not silently produce data
+            with pytest.raises(SimulationError) as caught:
+                simulate_fast(config, trace, warmup_fraction=warmup)
+            assert str(caught.value) == str(exc)
+            return
+        fast = simulate_fast(config, trace, warmup_fraction=warmup)
+        assert_results_equivalent(detailed, fast)
+        assert_energy_equivalent(config, detailed, fast)
+
+
+def test_batch_power_matches_reference_rowwise():
+    """One batched evaluation over many activities must equal the
+    scalar reference model row by row (including POWER9, which has no
+    MMA unit to power)."""
+    for config in (power10_config(), power9_config()):
+        acts = []
+        for name in ("daxpy", "pointer-chase", "deepsjeng"):
+            trace = resolve_workload(name, 1500)
+            acts.append(simulate(config, trace,
+                                 warmup_fraction=0.2).activity)
+        batch = batch_power(config, acts)
+        model = EinspowerModel(config)
+        for i, act in enumerate(acts):
+            ref = model.report(act)
+            assert batch.total_w[i] == ref.total_w
+            assert batch.dynamic_w[i] == ref.dynamic_w
+            assert batch.active_w[i] == ref.active_w
+
+
+# ---------------------------------------------------------------------
+# Hypothesis: adversarial synthetic workloads.
+# ---------------------------------------------------------------------
+
+_P9_CLASSES = [c for c in InstrClass
+               if c not in (InstrClass.MMA, InstrClass.MMA_MOVE)]
+_SIZES = (4, 8, 16, 32)
+
+
+@st.composite
+def synthetic_traces(draw):
+    """A short adversarial trace plus the config family to run it on.
+
+    The generator leans into the corners the replay has to get right:
+    register dependence chains, reused and conflicting cache lines,
+    taken/not-taken branch mixes, stores behind loads, and fusion
+    candidates from adjacent FX ops.
+    """
+    on_p9 = draw(st.booleans())
+    classes = _P9_CLASSES if on_p9 else list(InstrClass)
+    n = draw(st.integers(min_value=20, max_value=220))
+    # a small address pool makes hits, misses, and line conflicts all
+    # likely inside a short trace
+    pool = draw(st.lists(st.integers(min_value=0, max_value=1 << 18),
+                         min_size=2, max_size=8))
+    instrs = []
+    pc = 0x10000
+    for _ in range(n):
+        cls = draw(st.sampled_from(classes))
+        addr = None
+        size = 0
+        taken = False
+        target = None
+        flops = 0
+        if cls.is_memory:
+            addr = draw(st.sampled_from(pool)) \
+                + draw(st.integers(min_value=0, max_value=256))
+            size = draw(st.sampled_from(_SIZES))
+        if cls in (InstrClass.BRANCH, InstrClass.BRANCH_IND):
+            taken = draw(st.booleans())
+            target = pc + draw(st.integers(min_value=-512,
+                                           max_value=512)) * 4
+        if cls in (InstrClass.FP, InstrClass.VSX, InstrClass.MMA):
+            flops = draw(st.sampled_from((2, 4, 8, 16)))
+        instrs.append(Instruction(
+            iclass=cls,
+            dests=tuple(draw(st.lists(
+                st.integers(min_value=0, max_value=15),
+                max_size=2))),
+            srcs=tuple(draw(st.lists(
+                st.integers(min_value=0, max_value=15),
+                max_size=3))),
+            address=addr, size=size, taken=taken, target=target,
+            flops=flops, pc=pc))
+        pc += 4
+    warmup = draw(st.sampled_from((0.0, 0.3)))
+    return on_p9, Trace(name="hypo", instructions=instrs), warmup
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(synthetic_traces())
+def test_synthetic_workloads_agree(case):
+    on_p9, trace, warmup = case
+    config = power9_config() if on_p9 else power10_config()
+    detailed = simulate(config, trace, warmup_fraction=warmup)
+    fast = simulate_fast(config, trace, warmup_fraction=warmup)
+    assert_results_equivalent(detailed, fast)
+    assert_energy_equivalent(config, detailed, fast)
+
+
+# ---------------------------------------------------------------------
+# The harness must have teeth: deliberate perturbations must trip it.
+# ---------------------------------------------------------------------
+
+def test_harness_detects_timing_perturbation(monkeypatch):
+    """Nudging a fast-path pipeline constant must produce a cycle
+    count the differential contract rejects — otherwise the exact
+    comparison is decorative."""
+    import repro.fastsim.replay as replay
+    config = power10_config()
+    trace = resolve_workload("daxpy", 2000)
+    detailed = simulate(config, trace, warmup_fraction=0.2)
+    monkeypatch.setattr(replay, "_FRONT_DEPTH",
+                        replay._FRONT_DEPTH + 1)
+    fast = simulate_fast(config, trace, warmup_fraction=0.2)
+    with pytest.raises(AssertionError):
+        assert_results_equivalent(detailed, fast)
+
+
+def test_harness_detects_energy_perturbation(monkeypatch):
+    """The fig05 tripwire, aimed at the batch evaluator: a 1% bump of
+    one event-energy coefficient applied to the fast path only must
+    move total power beyond the agreement tolerance."""
+    config = power10_config()
+    trace = resolve_workload("dgemm-vsu", 2000)
+    detailed = simulate(config, trace, warmup_fraction=0.2)
+    ref_total = EinspowerModel(config).report(
+        detailed.activity).total_w
+    table = repro.core.config._P10_EVENT_PJ
+    monkeypatch.setitem(table, "l1d_access",
+                        table["l1d_access"] * 1.01)
+    perturbed = power10_config()
+    fast = simulate_fast(perturbed, trace, warmup_fraction=0.2)
+    batch = batch_power(perturbed, [fast.activity])
+    assert not math.isclose(ref_total, batch.total_w[0],
+                            rel_tol=RTOL), (
+        "a 1% l1d_access energy perturbation did not move the fast "
+        "tier's power — the differential harness is not sensitive "
+        "enough")
+
+
+# ---------------------------------------------------------------------
+# Tier dispatch and cache-key hygiene.
+# ---------------------------------------------------------------------
+
+def test_unknown_tier_rejected():
+    config = power10_config()
+    trace = resolve_workload("daxpy", 300)
+    with pytest.raises(SimulationError, match="unknown simulation "
+                                              "tier"):
+        simulate_tiered(config, trace, tier="turbo")
+
+
+def test_fast_tier_rejects_interval_samplers():
+    from repro.obs.sampler import CycleIntervalSampler
+    config = power10_config()
+    trace = resolve_workload("daxpy", 300)
+    with pytest.raises(SimulationError, match="interval samplers"):
+        simulate_tiered(config, trace, tier="fast",
+                        sampler=CycleIntervalSampler(100))
+
+
+def test_tier_is_part_of_the_task_fingerprint():
+    """Regression for the cache-poisoning bug: identical (config,
+    trace, params) on different tiers must produce different task
+    fingerprints."""
+    from repro.exec.executor import sim_task
+    config = power10_config()
+    trace = resolve_workload("daxpy", 300)
+    t_detailed = sim_task(config, trace, warmup_fraction=0.2)
+    t_fast = sim_task(config, trace, warmup_fraction=0.2, tier="fast")
+    assert t_detailed.key != t_fast.key
+    assert t_detailed.kind == "sim"
+    assert t_fast.kind == "sim_fast"
+
+
+def test_warm_detailed_cache_never_answers_fast_tier(tmp_path):
+    """Run the same simulation detailed-then-fast through one result
+    cache: the fast request must miss (and recompute), not be served
+    the detailed tier's entry."""
+    from repro.exec.cache import ResultCache
+    from repro.exec.executor import Engine, run_sim_plan, sim_task
+    config = power10_config()
+    trace = resolve_workload("daxpy", 400)
+    cache = ResultCache(tmp_path / "cache")
+    engine = Engine(workers=1, cache=cache)
+    run_sim_plan(engine, [sim_task(config, trace,
+                                   warmup_fraction=0.2)])
+    misses_before = cache.misses
+    hits_before = cache.hits
+    [fast] = run_sim_plan(engine, [sim_task(config, trace,
+                                            warmup_fraction=0.2,
+                                            tier="fast")])
+    assert cache.misses == misses_before + 1
+    assert cache.hits == hits_before
+    # and the recomputed fast result still matches the oracle
+    detailed = simulate(config, trace, warmup_fraction=0.2)
+    assert_results_equivalent(detailed, fast)

@@ -70,11 +70,20 @@ def compare_scalars(actual: dict, golden: dict, rtol: float):
     return problems
 
 
+@pytest.mark.parametrize("tier", ["detailed", "fast"])
 @pytest.mark.parametrize("name", list(SCENARIOS))
-def test_golden(name, request):
+def test_golden(name, tier, request):
+    """Both simulator tiers must hit the same committed goldens: the
+    fast tier earns its keep only if every figure it can run lands
+    within the scenario's rtol of the detailed oracle's numbers."""
     spec = SCENARIOS[name]
+    if tier != "detailed":
+        if spec.detailed_only:
+            pytest.skip(f"scenario {name} is detailed-only")
+        if request.config.getoption("--update-goldens"):
+            pytest.skip("goldens regenerate from the detailed tier")
     _rich, scalars = run_scenario(name, scale=spec.quick_scale,
-                                  engine=Engine(workers=1))
+                                  engine=Engine(workers=1), tier=tier)
     assert scalars, f"scenario {name} produced no scalars"
     if request.config.getoption("--update-goldens"):
         write_golden(name, scalars, spec.quick_scale, spec.rtol)
