@@ -479,7 +479,9 @@ def _serve_config(args: argparse.Namespace, *, port: int):
         from pathlib import Path
         access_log = str(Path(tdir) / "access.jsonl")
     return ServeConfig(
-        host=args.host, port=port, workers=args.workers,
+        host=args.host, port=port,
+        port_file=getattr(args, "port_file", None),
+        workers=args.workers,
         cache_dir=args.cache_dir, window_ms=args.window_ms,
         max_inflight=args.max_inflight, rate_per_s=args.rate_limit,
         drain_timeout_s=args.drain_timeout,
@@ -498,6 +500,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_server(config)
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import threading
+
+    from .cluster import Cluster, ClusterConfig
+
+    config = ClusterConfig(
+        shards=args.shards, worker_mode=args.worker_mode,
+        host=args.host, port=args.port, engine_workers=args.workers,
+        cache_dir=args.cache_dir, window_ms=args.window_ms,
+        max_inflight=args.max_inflight, rate_per_s=args.rate_limit,
+        drain_timeout_s=args.drain_timeout,
+        warm_fast_path=args.warm,
+        restart_dead=not args.no_restart)
+    cluster = Cluster(config)
+    cluster.start()
+    print(f"cluster: {config.shards} {config.worker_mode} worker(s) "
+          f"behind {cluster.url}", file=sys.stderr)
+    print(f"cluster: shared cache tier at {cluster.cache_dir}",
+          file=sys.stderr)
+    try:
+        threading.Event().wait()        # until SIGINT
+    except KeyboardInterrupt:
+        print("cluster: draining", file=sys.stderr)
+    finally:
+        clean = cluster.stop()
+    print(f"cluster: stopped "
+          f"({'clean' if clean else 'forced'})", file=sys.stderr)
+    return 0 if clean else 1
+
+
+def _cmd_loadgen_cluster(args: argparse.Namespace) -> int:
+    from .cluster import ClusterBenchConfig, run_cluster_bench
+    from .serve import write_report
+
+    # untouched single-server defaults scale to the cluster shape
+    requests = 240 if args.requests == 50 else args.requests
+    rate = 250.0 if args.rate == 25.0 else args.rate
+    report = run_cluster_bench(ClusterBenchConfig(
+        seed=args.seed, requests=requests, rate_per_s=rate,
+        shards=args.shards, engine_workers=args.workers,
+        window_ms=args.window_ms, deadline_ms=args.deadline_ms,
+        timeout_s=args.timeout, slo_p99_ms=args.slo_p99_ms,
+        chaos=not args.no_kill_shard))
+    out = args.out
+    if out == "BENCH_serve.json":       # the single-server default
+        out = "BENCH_cluster.json"
+    if out:
+        write_report(report, out)
+        print(f"report written to {out}", file=sys.stderr)
+    lat = report["latency_s"]
+    print(f"{report['requests']} requests @ "
+          f"{report['offered_rate_per_s']:.0f}/s offered across "
+          f"{report['shards']} shard(s) -> "
+          f"{report['throughput_per_s']:.1f}/s served; "
+          f"availability {report['availability']['rate']:.1%}")
+    print(f"latency p50 {lat['p50'] * 1000:.1f} ms, "
+          f"p95 {lat['p95'] * 1000:.1f} ms, "
+          f"p99 {lat['p99'] * 1000:.1f} ms")
+    for shard, entry in sorted(report["per_shard"].items()):
+        print(f"  shard {shard}: {entry['count']} requests, "
+              f"p99 {entry['latency_s']['p99'] * 1000:.1f} ms")
+    cache = report.get("cache") or {}
+    dedupe = report.get("dedupe") or {}
+    print(f"cache tier: hit rate {cache.get('hit_rate', 0.0):.1%} "
+          f"({cache.get('hits', 0)} hits, {cache.get('misses', 0)} "
+          f"misses, {cache.get('corrupt', 0)} corrupt); "
+          f"dedupe joins {dedupe.get('joins', 0)}, "
+          f"failovers {dedupe.get('failovers', 0)}")
+    chaos = report.get("chaos")
+    if chaos:
+        print(f"worker_down phase: availability "
+              f"{chaos['availability_rate']:.1%}, "
+              f"sdc {len(chaos['sdc'])}, "
+              f"faults fired {chaos['faults_fired']}, "
+              f"healthy shards after {chaos['healthy_shards_after']}")
+    verdict = "ok" if report["ok"] else "FAIL"
+    print(f"cluster bench seed {report['seed']}: "
+          f"sdc {report['sdc_total']} -> {verdict}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
+
+
 def _cmd_perfwatch(args: argparse.Namespace) -> int:
     from .exec.perfwatch import run_perfwatch
     return run_perfwatch(args.bench_dir, args.baseline,
@@ -513,6 +598,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                         write_report)
 
     sanitizing = sanitize_enabled(getattr(args, "sanitize", False))
+    if args.cluster:
+        if sanitizing:
+            raise ServeError(
+                "--sanitize and --cluster are mutually exclusive "
+                "(the sanitizer double-runs a single in-process "
+                "server)")
+        return _cmd_loadgen_cluster(args)
     sanitizer_rc = 0
     if sanitizing:
         if not args.self_serve:
@@ -781,7 +873,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="long-lived JSON-over-HTTP simulation service")
     p.add_argument("--port", type=int, default=8419,
                    help="listen port; 0 = ephemeral (default 8419)")
+    p.add_argument("--port-file", default=None, metavar="FILE",
+                   help="write the bound port to FILE once listening "
+                        "(how the cluster supervisor learns a child "
+                        "worker's ephemeral port)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster", parents=[serve_opts],
+        help="sharded multi-worker serving cluster behind one "
+             "failover router with a shared result-cache tier")
+    p.add_argument("--port", type=int, default=8420,
+                   help="router port; 0 = ephemeral (default 8420)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="serve-worker count (default 2)")
+    p.add_argument("--worker-mode", choices=("thread", "process"),
+                   default="process",
+                   help="host workers as child processes (default) "
+                        "or in-process threads")
+    p.add_argument("--no-restart", action="store_true",
+                   help="do not revive dead workers")
+    p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser(
         "loadgen", parents=[telemetry, serve_opts],
@@ -813,6 +925,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sanitizer report artifact for --sanitize "
                         "runs (default SANITIZE_serve.json; '' "
                         "disables)")
+    p.add_argument("--cluster", action="store_true",
+                   help="drive a self-managed sharded cluster instead "
+                        "of a single server and write "
+                        "BENCH_cluster.json (untouched --requests/"
+                        "--rate defaults scale to 240 @ 250/s)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="cluster worker count for --cluster "
+                        "(default 2)")
+    p.add_argument("--no-kill-shard", action="store_true",
+                   help="skip the worker_down chaos phase of "
+                        "--cluster")
     p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
@@ -851,7 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "so worker faults fire in forked workers)")
     p.add_argument("--classes", default=None, metavar="KIND,KIND",
                    help="comma-separated fault classes "
-                        "(default: all six)")
+                        "(default: the full taxonomy)")
     p.add_argument("--faults-per-class", type=int, default=2,
                    metavar="N",
                    help="faults armed per class phase (default 2)")

@@ -67,6 +67,12 @@ class DrainingError(ServeError):
     well-formed error instead of completing (or hanging)."""
 
 
+class ClusterError(ServeError):
+    """The multi-worker cluster could not route a request (no healthy
+    shard, malformed upstream response, worker that never came up) or
+    the cluster topology was misconfigured."""
+
+
 class ResilienceError(ReproError):
     """The fault-injection layer was misused (malformed fault schedule,
     conflicting active injectors, corrupt campaign checkpoint)."""

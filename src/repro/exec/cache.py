@@ -206,6 +206,7 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @classmethod
     def from_env(cls) -> Optional["ResultCache"]:
@@ -238,6 +239,7 @@ class ResultCache:
             # it so the recompute's put() rewrites a clean entry
             # (otherwise a permanently corrupt file would be re-read
             # and dropped on every subsequent hit)
+            self.corrupt += 1
             registry.counter(
                 "repro_exec_cache_corrupt_total",
                 "cache entries dropped as unreadable or corrupt",
@@ -271,6 +273,19 @@ class ResultCache:
                 tmp.unlink()
             except OSError:
                 pass
+
+    def stats(self) -> Dict[str, object]:
+        """This instance's lookup counters, shaped for ``/healthz``.
+
+        Per-instance, not per-directory: when several workers share one
+        cache tier each reports its own traffic, and the cluster router
+        sums them into the tier-wide aggregate.
+        """
+        lookups = self.hits + self.misses
+        return {"hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "hit_rate": self.hits / lookups if lookups else 0.0}
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns True when something was removed."""

@@ -39,7 +39,12 @@ Baseline schema::
      "scenarios": {"fig05": {"wall_s": 1.23, "tolerance": 4.0}},
      "serve": {"p99_s": 0.8, "tolerance": 4.0},
      "availability": {"rate": 1.0, "max_drop": 0.25},
-     "fastsim": {"max_rel_err": 0.0, "budget": 0.001}}
+     "fastsim": {"max_rel_err": 0.0, "budget": 0.001},
+     "cluster": {"rate": 1.0, "max_drop": 0.1}}
+
+The ``cluster`` row watches ``BENCH_cluster.json`` (``repro loadgen
+--cluster``) with the same absolute-drop judgment as
+``serve:availability``.
 """
 
 from __future__ import annotations
@@ -60,7 +65,8 @@ DEFAULT_AVAILABILITY_DROP = 0.1
 DEFAULT_FIDELITY_BUDGET = 1e-3
 # artifacts in the bench dir that are not per-scenario timings
 _SPECIAL = ("BENCH_sweep.json", "BENCH_serve.json",
-            "BENCH_chaos.json", "BENCH_fastsim.json")
+            "BENCH_chaos.json", "BENCH_fastsim.json",
+            "BENCH_cluster.json")
 
 
 def collect_current(bench_dir) -> Dict[str, object]:
@@ -103,10 +109,23 @@ def collect_current(bench_dir) -> Dict[str, object]:
             raise ExecError(
                 f"{fastsim_path} lacks fidelity.max_rel_err")
         fastsim = float(err)
-    if not scenarios and serve is None and fastsim is None:
+    cluster: Optional[float] = None
+    cluster_path = root / "BENCH_cluster.json"
+    if cluster_path.exists():
+        doc = _load(cluster_path)
+        avail = doc.get("availability")
+        rate = (avail.get("rate") if isinstance(avail, dict)
+                else None)
+        if not isinstance(rate, (int, float)):
+            raise ExecError(
+                f"{cluster_path} lacks availability.rate")
+        cluster = float(rate)
+    if not scenarios and serve is None and fastsim is None \
+            and cluster is None:
         raise ExecError(f"no BENCH_*.json artifacts in {root}")
     return {"scenarios": scenarios, "serve": serve,
-            "availability": availability, "fastsim": fastsim}
+            "availability": availability, "fastsim": fastsim,
+            "cluster": cluster}
 
 
 def _load(path: Path) -> Dict[str, object]:
@@ -149,6 +168,9 @@ def build_baseline(current: Dict[str, object], *,
     if current.get("fastsim") is not None:
         doc["fastsim"] = {"max_rel_err": current["fastsim"],
                           "budget": DEFAULT_FIDELITY_BUDGET}
+    if current.get("cluster") is not None:
+        doc["cluster"] = {"rate": current["cluster"],
+                          "max_drop": DEFAULT_AVAILABILITY_DROP}
     return doc
 
 
@@ -208,6 +230,22 @@ def compare(baseline: Dict[str, object], current: Dict[str, object],
                                         DEFAULT_AVAILABILITY_DROP))
         drop = base_rate - cur_rate
         rows.append({"name": "serve:availability",
+                     "baseline_rate": base_rate,
+                     "current_rate": cur_rate,
+                     "drop": drop, "max_drop": max_drop,
+                     "status": ("regression" if drop > max_drop
+                                else "ok")})
+    base_cluster = baseline.get("cluster")
+    if base_cluster is not None \
+            and current.get("cluster") is not None:
+        # same absolute-drop judgment as serve:availability — the
+        # cluster's answered-usefully rate under burst + shard-kill
+        base_rate = float(base_cluster["rate"])
+        cur_rate = float(current["cluster"])
+        max_drop = float(base_cluster.get(
+            "max_drop", DEFAULT_AVAILABILITY_DROP))
+        drop = base_rate - cur_rate
+        rows.append({"name": "cluster:availability",
                      "baseline_rate": base_rate,
                      "current_rate": cur_rate,
                      "drop": drop, "max_drop": max_drop,

@@ -300,7 +300,7 @@ class DeterminismRule(Rule):
     severity = Severity.ERROR
 
     SCOPES = ("repro/core/", "repro/power/", "repro/pm/",
-              "repro/exec/", "repro/serve/")
+              "repro/exec/", "repro/serve/", "repro/cluster/")
 
     #: relpath -> {function qualname: justification}.  The only wall
     #: clock/RNG escape hatch in scoped code; every entry must say why
@@ -334,6 +334,21 @@ class DeterminismRule(Rule):
                 "open-loop pacing and wall-clock throughput",
             "run_loadgen._fire":
                 "per-request latency measurement",
+        },
+        "repro/cluster/router.py": {
+            "ClusterRouter._proxy":
+                "routed-request latency measurement for the cluster "
+                "histogram (feeds telemetry, never routing decisions)",
+        },
+        "repro/cluster/workers.py": {
+            "ProcessWorker._await_port":
+                "wall-clock bound on a child process publishing its "
+                "ephemeral port (supervision, never model results)",
+        },
+        "repro/cluster/supervisor.py": {
+            "Cluster._await":
+                "wall-clock bound on drain/health settling during "
+                "rolling restarts (supervision, never model results)",
         },
     }
 

@@ -22,7 +22,10 @@ The taxonomy (:data:`SERVICE_FAULT_KINDS`):
   (deadline pressure without killing anything);
 * ``conn_drop``    — the server abruptly closes an accepted connection
   without responding (the client must see a transport error, never a
-  torn body).
+  torn body);
+* ``worker_down``  — a whole serve worker dies mid-burst (the cluster
+  supervisor claims the token and kills a worker; the router must
+  fail the shard over with zero SDC and no lost requests).
 
 Faults are *armed* as token files in a directory named by
 ``$REPRO_CHAOS_DIR`` and *claimed* exactly once via an atomic
@@ -72,10 +75,13 @@ CACHE_CORRUPT = "cache_corrupt"
 CACHE_PERM = "cache_perm"
 SLOW_BATCH = "slow_batch"
 CONN_DROP = "conn_drop"
+WORKER_DOWN = "worker_down"
 
+# worker_down is appended (never inserted) so the per-kind RNG streams
+# below stay stable for the pre-existing kinds
 SERVICE_FAULT_KINDS: Tuple[str, ...] = (
     WORKER_KILL, WORKER_STALL, CACHE_CORRUPT, CACHE_PERM, SLOW_BATCH,
-    CONN_DROP)
+    CONN_DROP, WORKER_DOWN)
 
 #: fault kinds that must fire inside a forked pool worker, never the
 #: process that armed the campaign
@@ -86,12 +92,14 @@ _CACHE_KINDS = (CACHE_CORRUPT, CACHE_PERM)
 
 #: hook name -> fault kinds that hook can fire.  The hooks live in
 #: exec/executor.py (worker_task), serve/batcher.py (batch),
-#: exec/cache.py (cache_get) and serve/server.py (conn).
+#: exec/cache.py (cache_get), serve/server.py (conn) and
+#: cluster/supervisor.py (cluster).
 HOOK_POINTS: Dict[str, Tuple[str, ...]] = {
     "worker_task": (WORKER_KILL, WORKER_STALL),
     "batch": (SLOW_BATCH,),
     "cache_get": (CACHE_CORRUPT, CACHE_PERM),
     "conn": (CONN_DROP,),
+    "cluster": (WORKER_DOWN,),
 }
 
 #: bytes written over a cache entry by ``cache_corrupt`` — valid UTF-8,
@@ -105,7 +113,8 @@ class ServiceFault:
 
     ``delay_s`` is the sleep duration for the stall kinds
     (``worker_stall`` / ``slow_batch``) and must be positive for them;
-    the other kinds ignore it.
+    for ``worker_down`` it is how long the cluster supervisor waits
+    before killing the victim; the other kinds ignore it.
     """
 
     kind: str
@@ -162,7 +171,10 @@ def generate_service_schedule(seed: int,
             delay = 0.0
             if kind == WORKER_STALL:
                 delay = round(stall_s * (1.0 + 0.5 * float(rng.random())), 3)
-            elif kind == SLOW_BATCH:
+            elif kind in (SLOW_BATCH, WORKER_DOWN):
+                # for worker_down the delay is how long the cluster
+                # supervisor waits before killing, so the death lands
+                # mid-burst rather than at arm time
                 delay = round(slow_s * (0.5 + float(rng.random())), 3)
             faults.append(ServiceFault(kind=kind, delay_s=delay))
     return faults
@@ -266,7 +278,9 @@ def _fire(fault: ServiceFault, path: Optional[str]) -> None:
             fh.write(_TORN_ENTRY)
     elif fault.kind == CACHE_PERM:
         os.chmod(path, 0)
-    # CONN_DROP: the hook's caller drops the connection itself
+    # CONN_DROP: the hook's caller drops the connection itself.
+    # WORKER_DOWN: the cluster supervisor (the caller) sleeps the
+    # fault's delay and kills the victim worker itself.
 
 
 def chaos_point(hook: str, *, path: Optional[str] = None,
@@ -411,6 +425,40 @@ class ChaosCampaign:
         return {"report": report, "clean_drain": clean, "chaos": chaos,
                 "faults_armed": len(faults)}
 
+    def _phase_cluster(self, faults: Sequence[ServiceFault],
+                       cache_dir: str, chaos_root) -> Dict[str, object]:
+        """The ``worker_down`` phase: a two-shard cluster instead of a
+        single server, so there is a worker to kill and a survivor to
+        absorb the re-routed traffic."""
+        from ..cluster.supervisor import Cluster, ClusterConfig
+        from ..serve.loadgen import LoadgenConfig, run_loadgen
+        cfg = self.config
+        cluster_cfg = ClusterConfig(
+            shards=2, worker_mode="thread",
+            engine_workers=cfg.workers, cache_dir=cache_dir,
+            window_ms=cfg.window_ms,
+            default_deadline_ms=cfg.deadline_ms,
+            max_pool_restarts=cfg.max_pool_restarts)
+        with contextlib.ExitStack() as stack:
+            controller = None
+            if faults:
+                controller = stack.enter_context(
+                    service_chaos(faults, chaos_root))
+            cluster = Cluster(cluster_cfg)
+            cluster.start()
+            try:
+                report = run_loadgen(LoadgenConfig(
+                    seed=cfg.seed, requests=cfg.requests,
+                    rate_per_s=cfg.rate_per_s, host="127.0.0.1",
+                    port=cluster.port, timeout_s=cfg.timeout_s,
+                    deadline_ms=cfg.deadline_ms))
+            finally:
+                clean = cluster.stop()
+            chaos = (controller.summary() if controller is not None
+                     else {"armed_left": 0, "fired": []})
+        return {"report": report, "clean_drain": clean, "chaos": chaos,
+                "faults_armed": len(faults)}
+
     @staticmethod
     def _classify(name: str, phase: Dict[str, object],
                   ref_rows: Dict[str, Dict[str, object]],
@@ -469,8 +517,12 @@ class ChaosCampaign:
                 # needs a cold cache so its work actually executes
                 cache_dir = (str(ref_cache) if kind in _CACHE_KINDS
                              else str(root / f"cache-{kind}"))
-                phase = self._phase_raw(faults, cache_dir,
-                                        root / f"chaos-{kind}")
+                if kind == WORKER_DOWN:
+                    phase = self._phase_cluster(
+                        faults, cache_dir, root / f"chaos-{kind}")
+                else:
+                    phase = self._phase_raw(faults, cache_dir,
+                                            root / f"chaos-{kind}")
                 phases.append(self._classify(kind, phase, ref_rows))
         report: Dict[str, object] = {
             "schema": CHAOS_REPORT_SCHEMA,

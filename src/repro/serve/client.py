@@ -4,9 +4,17 @@ Stdlib-only (``http.client``), with retry + capped exponential backoff
 + deterministic jitter.  Retries honor the server's ``Retry-After``
 hint when it exceeds the computed backoff, and only fire for
 retryable outcomes: connection failures and 503 (overloaded /
-shutting_down).  400-class errors and 504 (deadline) are the caller's
-problem and surface immediately as :class:`~repro.errors.ServeError`
-subclasses mapped back from the structured error body.
+shutting_down / cluster_unavailable).  400-class errors and 504
+(deadline) are the caller's problem and surface immediately as
+:class:`~repro.errors.ServeError` subclasses mapped back from the
+structured error body.
+
+The client can target one host (``host``/``port``, the default) or a
+base-URL list (``targets=["127.0.0.1:8419", ...]``): each retryable
+failure rotates to the next target before the backoff sleep, so a
+caller pointed at several workers (or routers) rides out a dead one
+with the same retry/backoff/jitter machinery the single-host path
+uses.
 """
 
 from __future__ import annotations
@@ -17,10 +25,11 @@ import random
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import (ConfigError, DeadlineError, DrainingError,
-                      OverloadError, ReproError, ServeError)
+from ..errors import (ClusterError, ConfigError, DeadlineError,
+                      DrainingError, OverloadError, ReproError,
+                      ServeError)
 
 _RETRYABLE_STATUSES = (503,)
 
@@ -28,12 +37,28 @@ _RETRYABLE_STATUSES = (503,)
 _CODE_TO_ERROR = {
     "shutting_down": DrainingError,
     "overloaded": OverloadError,
+    "cluster_unavailable": ClusterError,
     "deadline_exceeded": DeadlineError,
     "bad_request": ConfigError,
     "model_error": ReproError,
     "internal": ServeError,
     "not_found": ServeError,
 }
+
+
+def parse_target(spec: str) -> Tuple[str, int]:
+    """``host:port`` (an optional ``http://`` prefix is stripped)."""
+    spec = spec.strip()
+    if spec.startswith("http://"):
+        spec = spec[len("http://"):]
+    host, sep, port = spec.rstrip("/").rpartition(":")
+    if not sep or not host:
+        raise ServeError(f"target {spec!r} must be host:port")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ServeError(f"target {spec!r} has a non-numeric "
+                         f"port") from exc
 
 
 @dataclass(frozen=True)
@@ -47,6 +72,10 @@ class ServeResponse:
     #: the server-confirmed request id (``X-Request-Id`` echo); kept
     #: out of ``body`` so identical requests stay byte-identical
     request_id: Optional[str] = None
+    #: which cluster shard answered (``X-Shard`` header, router-added);
+    #: None when talking to a single server — header-only like the
+    #: request id, so bodies stay byte-identical across topologies
+    shard: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -63,8 +92,9 @@ class ServeResponse:
 
 @dataclass
 class ServeClient:
-    """Talks to one server; safe to share across threads (each request
-    opens its own connection — the load generator depends on that)."""
+    """Talks to one server (or a target list); safe to share across
+    threads (each request opens its own connection — the load
+    generator depends on that)."""
 
     host: str = "127.0.0.1"
     port: int = 8419
@@ -77,13 +107,33 @@ class ServeClient:
     #: so a chaos campaign or load generator can thread one seeded
     #: stream through every client it builds
     rng: Optional[random.Random] = None
+    #: base-URL list (``"host:port"`` / ``"http://host:port"``); when
+    #: given it wins over ``host``/``port`` and retryable failures
+    #: rotate through it round-robin
+    targets: Optional[Sequence[str]] = None
     _rng: random.Random = field(init=False, repr=False)
+    _targets: List[Tuple[str, int]] = field(init=False, repr=False)
+    _target_idx: int = field(init=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ServeError(f"retries must be >= 0, got {self.retries}")
         self._rng = (self.rng if self.rng is not None
                      else random.Random(self.jitter_seed))
+        if self.targets:
+            self._targets = [parse_target(t) for t in self.targets]
+        else:
+            self._targets = [(self.host, self.port)]
+
+    @property
+    def target(self) -> Tuple[str, int]:
+        """The host/port the next request will try first."""
+        return self._targets[self._target_idx]
+
+    def _rotate_target(self) -> None:
+        if len(self._targets) > 1:
+            self._target_idx = (self._target_idx + 1) \
+                % len(self._targets)
 
     # ---- transport ---------------------------------------------------
 
@@ -98,8 +148,9 @@ class ServeClient:
             headers["X-Request-Id"] = request_id
         if deadline_ms is not None:
             headers["X-Deadline-Ms"] = str(deadline_ms)
+        host, port = self.target
         conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s)
+            host, port, timeout=self.timeout_s)
         started = time.monotonic()
         try:
             conn.request(method, path, body=body, headers=headers)
@@ -108,6 +159,7 @@ class ServeClient:
             status = response.status
             retry_after = response.getheader("Retry-After")
             rid_echo = response.getheader("X-Request-Id")
+            shard = response.getheader("X-Shard")
             ctype = response.getheader("Content-Type") or ""
         finally:
             conn.close()
@@ -127,7 +179,7 @@ class ServeClient:
             doc = dict(doc)
             doc["_retry_after_s"] = float(retry_after)
         return ServeResponse(status=status, body=doc, latency_s=latency,
-                             request_id=rid_echo)
+                             request_id=rid_echo, shard=shard)
 
     def _backoff_s(self, attempt: int, hint: Optional[float]) -> float:
         base = min(self.backoff_cap_s,
@@ -149,6 +201,10 @@ class ServeClient:
         ``deadline_ms`` travels as ``X-Deadline-Ms``; the server folds
         it into routes that accept a deadline when the body carries
         none (the body field wins).
+
+        With a multi-target client every retryable failure (transport
+        error, torn response, or 503) rotates to the next target, so
+        the retry budget doubles as per-host failover.
         """
         last_exc: Optional[Exception] = None
         last_resp: Optional[ServeResponse] = None
@@ -157,26 +213,32 @@ class ServeClient:
             try:
                 resp = self._once(method, path, payload, request_id,
                                   deadline_ms)
-            except (ConnectionError, socket.timeout, OSError) as exc:
+            except (ConnectionError, socket.timeout,
+                    http.client.HTTPException, OSError) as exc:
                 last_exc, last_resp = exc, None
+                self._rotate_target()
             else:
                 if resp.status not in _RETRYABLE_STATUSES:
                     return ServeResponse(resp.status, resp.body,
                                          resp.latency_s,
                                          attempts=attempt + 1,
-                                         request_id=resp.request_id)
+                                         request_id=resp.request_id,
+                                         shard=resp.shard)
                 last_exc, last_resp = None, resp
                 hint = resp.body.get("_retry_after_s")
+                self._rotate_target()
             if attempt < self.retries:
                 time.sleep(self._backoff_s(attempt, hint))
         if last_resp is not None:
             return ServeResponse(last_resp.status, last_resp.body,
                                  last_resp.latency_s,
                                  attempts=self.retries + 1,
-                                 request_id=last_resp.request_id)
+                                 request_id=last_resp.request_id,
+                                 shard=last_resp.shard)
         raise ServeError(
             f"request to {path} failed after {self.retries + 1} "
-            f"attempts: {last_exc}") from last_exc
+            f"attempts across {len(self._targets)} target(s): "
+            f"{last_exc}") from last_exc
 
     @staticmethod
     def raise_for_body(resp: ServeResponse) -> ServeResponse:

@@ -1,0 +1,182 @@
+"""Shared asyncio HTTP/1.1 plumbing for the serve and cluster layers.
+
+One wire implementation, two consumers: :class:`~repro.serve.server.
+ReproServer` parses inbound requests and renders responses with it,
+and the cluster router (:mod:`repro.cluster.router`) additionally uses
+the request *encoder* and response *parser* to proxy bodies upstream
+over ``asyncio.open_connection`` — the stdlib blocking client
+(``http.client``) is banned inside async code by R007, and a proxy
+must forward body bytes verbatim anyway, which a parsing client would
+not guarantee.
+
+Everything here is pure byte-shuffling: no clocks, no RNGs, no
+engine imports — the module stays trivially inside the R003
+determinism scope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from ..errors import ServeError
+
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADERS = 100
+
+REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+           405: "Method Not Allowed", 413: "Payload Too Large",
+           500: "Internal Server Error", 503: "Service Unavailable",
+           504: "Gateway Timeout"}
+
+
+async def _read_headers(reader) -> Dict[str, str]:
+    """Read header lines up to the blank separator (names lowercased)."""
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        try:
+            raw = await reader.readline()
+        except ValueError as exc:
+            raise ServeError(f"header too long: {exc}") from exc
+        if raw in (b"\r\n", b"\n", b""):
+            return headers
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ServeError(f"malformed header: {raw[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    raise ServeError(f"more than {MAX_HEADERS} headers")
+
+
+def _body_length(headers: Dict[str, str]) -> int:
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as exc:
+        raise ServeError("bad Content-Length") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ServeError(
+            f"body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit")
+    return length
+
+
+async def read_request(reader,
+                       ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """One HTTP/1.1 request; None on clean EOF.
+
+    Returns ``(method, path, headers, body)`` or raises
+    :class:`ServeError` on a malformed request.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as exc:           # request line over the limit
+        raise ServeError(f"request line too long: {exc}") from exc
+    if not line:
+        return None
+    parts = line.split()
+    if len(parts) != 3:
+        raise ServeError(f"malformed request line: {line[:80]!r}")
+    method = parts[0].decode("latin-1").upper()
+    path = parts[1].decode("latin-1").split("?", 1)[0]
+    headers = await _read_headers(reader)
+    length = _body_length(headers)
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+async def read_response(reader) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP/1.1 response: ``(status, headers, raw body bytes)``.
+
+    The body is returned verbatim (never decoded or re-serialized) so
+    a proxy built on this parser preserves bit-identity by
+    construction.  Raises :class:`ServeError` on a malformed status
+    line and lets ``asyncio.IncompleteReadError`` surface for torn
+    bodies — a proxy must treat those as transport failures, not
+    answers.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError as exc:
+        raise ServeError(f"status line too long: {exc}") from exc
+    if not line:
+        raise ServeError("empty response (connection closed)")
+    parts = line.split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+        raise ServeError(f"malformed status line: {line[:80]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise ServeError(f"malformed status: {line[:80]!r}") from exc
+    headers = await _read_headers(reader)
+    length = _body_length(headers)
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+def encode_request(method: str, path: str, body: bytes,
+                   headers: Dict[str, str]) -> bytes:
+    """Render one request head + body (Content-Length supplied here)."""
+    lines = [f"{method} {path} HTTP/1.1",
+             f"Content-Length: {len(body)}"]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def encode_response(status: int, doc, extra: Dict[str, str],
+                    keep_alive: bool) -> bytes:
+    """Render one response: dict -> canonical JSON, str -> UTF-8 text
+    (pre-rendered Prometheus exposition), bytes -> verbatim passthrough
+    (the proxy path — upstream body bytes must never be re-encoded)."""
+    if isinstance(doc, bytes):
+        payload = doc
+    elif isinstance(doc, str):
+        payload = doc.encode("utf-8")
+    else:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    extra = dict(extra)
+    ctype = extra.pop("Content-Type", "application/json")
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+             f"Content-Type: {ctype}",
+             f"Content-Length: {len(payload)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in sorted(extra.items()):
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+async def write_response(writer, status: int, doc,
+                         extra: Dict[str, str],
+                         keep_alive: bool) -> None:
+    writer.write(encode_response(status, doc, extra, keep_alive))
+    await writer.drain()
+
+
+async def fetch(host: str, port: int, method: str, path: str, *,
+                body: bytes = b"", headers: Optional[Dict[str, str]] = None,
+                timeout_s: float = 60.0,
+                ) -> Tuple[int, Dict[str, str], bytes]:
+    """One asyncio HTTP exchange on a fresh connection.
+
+    The cluster router's upstream transport: opens a connection, sends
+    one ``Connection: close`` request, and returns the parsed status /
+    headers plus the *raw* body bytes.  Transport failures surface as
+    ``OSError`` / ``asyncio.TimeoutError`` / ``asyncio.
+    IncompleteReadError`` so the caller can fail the shard over.
+    """
+    hdrs = {"Connection": "close"}
+    if headers:
+        hdrs.update(headers)
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout_s)
+    try:
+        writer.write(encode_request(method, path, body, hdrs))
+        await writer.drain()
+        return await asyncio.wait_for(read_response(reader),
+                                      timeout=timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

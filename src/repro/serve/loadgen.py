@@ -189,6 +189,8 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, object]:
         stats["latencies"].append(resp.latency_s)
         row["latency_s"] = round(resp.latency_s, 6)
         row["status"] = resp.status
+        if resp.shard is not None:      # routed through a cluster
+            row["shard"] = resp.shard
         # ordering-sensitive identity for the sanitizer's double-run
         # diff: the same request id must produce the same body bytes
         row["body_sha"] = _digest(resp.body)

@@ -27,9 +27,9 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, Optional, Tuple, Type
 
-from ..errors import (ConfigError, DeadlineError, DrainingError,
-                      OverloadError, ReproError, ResilienceError,
-                      ServeError, TraceError)
+from ..errors import (ClusterError, ConfigError, DeadlineError,
+                      DrainingError, OverloadError, ReproError,
+                      ResilienceError, ServeError, TraceError)
 
 GENERATIONS = ("power9", "power10")
 
@@ -299,6 +299,7 @@ def ok_body(result: Dict[str, object], *, degraded: bool = False,
 _ERROR_TABLE: Tuple[Tuple[type, str, int], ...] = (
     (DrainingError, "shutting_down", 503),
     (OverloadError, "overloaded", 503),
+    (ClusterError, "cluster_unavailable", 503),
     (DeadlineError, "deadline_exceeded", 504),
     (ConfigError, "bad_request", 400),
     (TraceError, "bad_request", 400),

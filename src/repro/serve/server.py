@@ -29,12 +29,12 @@ power is recomputed in this process from exact cached activity.
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import signal
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..errors import (DeadlineError, DrainingError, OverloadError,
@@ -54,10 +54,21 @@ from . import protocol
 from .admission import (AdmissionController, CircuitBreaker,
                         ProxyFastPath, TokenBucket)
 from .batcher import MicroBatcher
+from .http import (MAX_BODY_BYTES, MAX_HEADERS, read_request,
+                   write_response)
 from .slo import SloTracker
 
-MAX_BODY_BYTES = 1 << 20
-MAX_HEADERS = 100
+__all__ = ["MAX_BODY_BYTES", "MAX_HEADERS", "ServeConfig",
+           "ReproServer", "ServerHandle", "run_server",
+           "start_in_thread"]
+
+
+def _publish_port(port_file: str, port: int) -> None:
+    """Atomically write the bound port: a reader polling for the file
+    must never observe a torn entry."""
+    tmp = Path(f"{port_file}.tmp{os.getpid()}")
+    tmp.write_text(str(port))
+    os.replace(tmp, port_file)
 
 
 def _task_tags() -> Tuple[str, ...]:
@@ -66,11 +77,6 @@ def _task_tags() -> Tuple[str, ...]:
     rid = current_request_id()
     return (rid,) if rid is not None else ()
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error", 503: "Service Unavailable",
-            504: "Gateway Timeout"}
-
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -78,6 +84,10 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 0                      # 0 = ephemeral (reported after start)
+    port_file: Optional[str] = None    # write the bound port here (the
+    #                                    cluster supervisor reads it to
+    #                                    learn a subprocess's ephemeral
+    #                                    port)
     workers: Optional[int] = None      # None = $REPRO_WORKERS or 1
     cache_dir: Optional[str] = None    # None = $REPRO_CACHE_DIR or off
     window_ms: float = 2.0
@@ -169,6 +179,9 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_conn, cfg.host, cfg.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if cfg.port_file:
+            await asyncio.to_thread(_publish_port, cfg.port_file,
+                                    self.port)
 
     async def stop(self) -> bool:
         """Graceful drain; returns True when everything finished in
@@ -193,6 +206,39 @@ class ReproServer:
         if self._access_log is not None:
             self._access_log.close()
         return clean
+
+    async def abort(self) -> None:
+        """Abrupt death (failover drills, ``ServerHandle.kill``): close
+        the listener and cancel in-flight connections without flushing
+        responses.  Clients see transport errors — never torn bodies —
+        which is exactly what a router's shard-failover path must
+        handle; a graceful drain would instead answer everything with
+        well-formed ``shutting_down`` errors.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = [t for t in self._conn_tasks if not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            done, _ = await asyncio.wait(pending, timeout=2.0)
+            for task in done:
+                # retrieve expected abort-path errors so the event
+                # loop never logs "exception was never retrieved"
+                if not task.cancelled():
+                    task.exception()
+        if self.batcher is not None:
+            # zero budget: settle leftover futures immediately so no
+            # waiter (there should be none — their conns are dead)
+            # hangs on an abandoned batch
+            await self.batcher.drain(0.0)
+        if self.engine is not None:
+            self.engine.close(wait=False)
+        if self._access_log is not None:
+            self._access_log.close()
 
     # ---- shared helpers ----------------------------------------------
 
@@ -556,6 +602,7 @@ class ReproServer:
         if method != "GET":
             raise ServeError("use GET for /healthz")
         from .. import __version__
+        cache = self.engine.cache if self.engine is not None else None
         return 200, {"status": "draining" if self._draining else "ok",
                      "version": __version__,
                      "workers": self.engine.workers,
@@ -563,78 +610,21 @@ class ReproServer:
                      "admitted": self.admission.inflight,
                      "breakers": {route: b.state
                                   for route, b in self.breakers.items()},
+                     "cache": (cache.stats() if cache is not None
+                               else None),
                      "slo": self.slo.snapshot()}
 
-    async def _read_request(self, reader):
-        """One HTTP/1.1 request; None on clean EOF.
-
-        Returns ``(method, path, headers, body)`` or raises
-        :class:`ServeError` on a malformed request.
-        """
-        try:
-            line = await reader.readline()
-        except ValueError as exc:       # request line over the limit
-            raise ServeError(f"request line too long: {exc}") from exc
-        if not line:
-            return None
-        parts = line.split()
-        if len(parts) != 3:
-            raise ServeError(f"malformed request line: {line[:80]!r}")
-        method = parts[0].decode("latin-1").upper()
-        path = parts[1].decode("latin-1").split("?", 1)[0]
-        headers: Dict[str, str] = {}
-        for _ in range(MAX_HEADERS):
-            try:
-                raw = await reader.readline()
-            except ValueError as exc:
-                raise ServeError(f"header too long: {exc}") from exc
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, sep, value = raw.decode("latin-1").partition(":")
-            if not sep:
-                raise ServeError(f"malformed header: {raw[:80]!r}")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            raise ServeError(f"more than {MAX_HEADERS} headers")
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError as exc:
-            raise ServeError("bad Content-Length") from exc
-        if length < 0 or length > MAX_BODY_BYTES:
-            raise ServeError(
-                f"body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit")
-        body = await reader.readexactly(length) if length else b""
-        return method, path, headers, body
-
-    async def _write_response(self, writer, status: int, doc,
-                              extra: Dict[str, str],
-                              keep_alive: bool) -> None:
-        if isinstance(doc, str):        # pre-rendered (Prometheus text)
-            payload = doc.encode("utf-8")
-        else:
-            payload = json.dumps(doc, sort_keys=True).encode("utf-8")
-        extra = dict(extra)
-        ctype = extra.pop("Content-Type", "application/json")
-        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                 f"Content-Type: {ctype}",
-                 f"Content-Length: {len(payload)}",
-                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
-        for name, value in sorted(extra.items()):
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + payload)
-        await writer.drain()
-
     async def _handle_conn(self, reader, writer) -> None:
+        # wire parsing/rendering lives in serve.http (shared with the
+        # cluster router's proxy path)
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         try:
             while True:
                 try:
-                    request = await self._read_request(reader)
+                    request = await read_request(reader)
                 except ServeError as exc:
-                    await self._write_response(
+                    await write_response(
                         writer, 400, protocol.error_body(exc), {},
                         keep_alive=False)
                     break
@@ -655,8 +645,8 @@ class ReproServer:
                     method, path, headers, body)
                 keep = (headers.get("connection", "").lower() != "close"
                         and not self._draining)
-                await self._write_response(writer, status, doc, extra,
-                                           keep_alive=keep)
+                await write_response(writer, status, doc, extra,
+                                     keep_alive=keep)
                 if not keep:
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -725,6 +715,7 @@ class ServerHandle:
         self.clean: Optional[bool] = None
         self._loop = None
         self._stop_event = None
+        self._abort = False
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -748,7 +739,11 @@ class ServerHandle:
             self._stop_event = asyncio.Event()
             started.set()
             await self._stop_event.wait()
-            self.clean = await server.stop()
+            if self._abort:             # kill(): no drain, no flush
+                self.clean = False
+                await server.abort()
+            else:
+                self.clean = await server.stop()
 
         self._thread = threading.Thread(
             target=lambda: asyncio.run(_main()),
@@ -771,6 +766,24 @@ class ServerHandle:
         if self._thread.is_alive():
             raise ServeError("server thread did not stop in time")
         return bool(self.clean)
+
+    def kill(self, timeout_s: float = 10.0) -> None:
+        """Abrupt death for failover drills: in-flight connections are
+        cancelled (clients see transport errors), nothing drains.
+
+        The closest a thread-hosted worker can get to SIGKILL; the
+        cluster's worker-down chaos class and kill-a-shard tests use it
+        to prove the router re-routes without losing requests.
+        """
+        self._abort = True
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass                    # loop already closed
+        self._thread.join(timeout=timeout_s)
+        if self._thread.is_alive():
+            raise ServeError("server thread did not die in time")
 
 
 def start_in_thread(config: Optional[ServeConfig] = None) -> ServerHandle:

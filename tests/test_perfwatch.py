@@ -10,7 +10,8 @@ from repro.exec.perfwatch import (build_baseline, collect_current,
                                   run_perfwatch)
 
 
-def _write_bench(root, scenarios, serve_p99=None, availability=None):
+def _write_bench(root, scenarios, serve_p99=None, availability=None,
+                 cluster_rate=None):
     root.mkdir(parents=True, exist_ok=True)
     for name, wall in scenarios.items():
         (root / f"BENCH_{name}.json").write_text(json.dumps(
@@ -21,6 +22,9 @@ def _write_bench(root, scenarios, serve_p99=None, availability=None):
         if availability is not None:
             doc["availability"] = {"rate": availability}
         (root / "BENCH_serve.json").write_text(json.dumps(doc))
+    if cluster_rate is not None:
+        (root / "BENCH_cluster.json").write_text(json.dumps(
+            {"schema": 1, "availability": {"rate": cluster_rate}}))
     return root
 
 
@@ -185,6 +189,75 @@ class TestAvailability:
         assert "FAIL" in out
 
 
+class TestClusterRow:
+    def test_collect_reads_cluster_availability(self, tmp_path):
+        _write_bench(tmp_path, {"fig05": 1.0}, cluster_rate=0.95)
+        cur = collect_current(tmp_path)
+        assert cur["cluster"] == 0.95
+        # the cluster artifact is not a per-scenario timing
+        assert cur["scenarios"] == {"fig05": 1.0}
+
+    def test_cluster_artifact_absent_is_fine(self, tmp_path):
+        _write_bench(tmp_path, {"fig05": 1.0})
+        assert collect_current(tmp_path)["cluster"] is None
+
+    def test_cluster_artifact_without_rate_is_an_error(self, tmp_path):
+        _write_bench(tmp_path, {"fig05": 1.0})
+        (tmp_path / "BENCH_cluster.json").write_text(
+            json.dumps({"schema": 1}))
+        with pytest.raises(ExecError):
+            collect_current(tmp_path)
+
+    def test_baseline_pins_cluster_rate(self):
+        cur = {"scenarios": {}, "serve": None, "cluster": 1.0}
+        base = build_baseline(cur, tolerance=0.1)
+        assert base["cluster"]["rate"] == 1.0
+        assert base["cluster"]["max_drop"] > 0
+
+    def test_drop_beyond_budget_regresses(self):
+        base = build_baseline(
+            {"scenarios": {}, "serve": None, "cluster": 1.0},
+            tolerance=0.1)
+        base["cluster"]["max_drop"] = 0.1
+        report = compare(base, {"scenarios": {}, "serve": None,
+                                "cluster": 0.7})
+        assert not report["ok"]
+        row = next(r for r in report["rows"]
+                   if r["name"] == "cluster:availability")
+        assert row["status"] == "regression"
+        assert row["drop"] == pytest.approx(0.3)
+
+    def test_drop_within_budget_passes(self):
+        base = build_baseline(
+            {"scenarios": {}, "serve": None, "cluster": 1.0},
+            tolerance=0.1)
+        base["cluster"]["max_drop"] = 0.25
+        assert compare(base, {"scenarios": {}, "serve": None,
+                              "cluster": 0.9})["ok"]
+
+    def test_old_baseline_without_cluster_row_still_works(self):
+        base = build_baseline({"scenarios": {"fig05": 1.0},
+                               "serve": None}, tolerance=0.1)
+        assert "cluster" not in base
+        report = compare(base, {"scenarios": {"fig05": 1.0},
+                                "serve": None, "cluster": 0.5})
+        assert report["ok"]
+        assert all(r["name"] != "cluster:availability"
+                   for r in report["rows"])
+
+    def test_cluster_watch_end_to_end(self, tmp_path, capsys):
+        bench = _write_bench(tmp_path / "bench", {"fig05": 1.0},
+                             cluster_rate=1.0)
+        baseline = tmp_path / "perf-baseline.json"
+        assert run_perfwatch(bench, baseline, tolerance=0.5,
+                             update_baseline=True) == 0
+        _write_bench(bench, {"fig05": 1.0}, cluster_rate=0.4)
+        assert run_perfwatch(bench, baseline, tolerance=0.5) == 1
+        out = capsys.readouterr().out
+        assert "cluster:availability" in out
+        assert "FAIL" in out
+
+
 class TestRunPerfwatch:
     def test_update_then_rerun_roundtrip(self, tmp_path, capsys):
         bench = _write_bench(tmp_path / "bench",
@@ -247,3 +320,6 @@ class TestCommittedBaseline:
         assert 0.0 < avail["rate"] <= 1.0
         # generous: cross-machine load variance must not trip it
         assert avail["max_drop"] >= 0.2
+        cluster = doc["cluster"]
+        assert 0.0 < cluster["rate"] <= 1.0
+        assert cluster["max_drop"] >= 0.2
